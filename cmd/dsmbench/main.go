@@ -1,0 +1,77 @@
+// Command dsmbench regenerates the paper's evaluation section: every table
+// and figure, plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	dsmbench -all                # everything (takes a while at default size)
+//	dsmbench -table1 -costs
+//	dsmbench -fig5 -apps SOR,LU -procs 1,4,8,32
+//	dsmbench -table3 -size small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every table, figure, and ablation")
+		costs  = flag.Bool("costs", false, "print basic operation costs (§4.1)")
+		table1 = flag.Bool("table1", false, "Table 1: basic operation costs per variant")
+		table2 = flag.Bool("table2", false, "Table 2: data sets and sequential times")
+		table3 = flag.Bool("table3", false, "Table 3: detailed statistics at 32 procs")
+		fig5   = flag.Bool("fig5", false, "Figure 5: speedups")
+		fig6   = flag.Bool("fig6", false, "Figure 6: execution-time breakdown")
+		abl    = flag.Bool("ablations", false, "design-choice ablations")
+		size   = flag.String("size", "default", "dataset size: small or default")
+		appsF  = flag.String("apps", "", "comma-separated application subset")
+		procsF = flag.String("procs", "", "comma-separated processor counts for fig5")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Size: apps.Size(*size)}
+	if *appsF != "" {
+		opts.Apps = strings.Split(*appsF, ",")
+	}
+	if *procsF != "" {
+		for _, s := range strings.Split(*procsF, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dsmbench: bad -procs:", err)
+				os.Exit(1)
+			}
+			opts.Procs = append(opts.Procs, n)
+		}
+	}
+
+	any := false
+	run := func(enabled bool, f func() error) {
+		if !enabled && !*all {
+			return
+		}
+		any = true
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+	}
+	w := os.Stdout
+	run(*costs, func() error { bench.Costs(w); return nil })
+	run(*table1, func() error { return bench.Table1(w, opts.VariantOpts) })
+	run(*table2, func() error { return bench.Table2(w, opts) })
+	run(*fig5, func() error { return bench.Fig5(w, opts) })
+	run(*fig6, func() error { return bench.Fig6(w, opts) })
+	run(*table3, func() error { return bench.Table3(w, opts) })
+	run(*abl, func() error { return bench.Ablations(w, opts) })
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

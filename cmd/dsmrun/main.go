@@ -1,0 +1,124 @@
+// Command dsmrun executes one benchmark application under one protocol
+// variant and prints its statistics: execution time, speedup-relevant
+// breakdown, fault and message counts, and Memory Channel traffic.
+//
+// Usage:
+//
+//	dsmrun -app SOR -variant csm_poll -procs 8 [-size small]
+//	dsmrun -app LU -variant tmk_mc_poll -nodes 4 -ppn 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/variants"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "SOR", "application name")
+		variant = flag.String("variant", "csm_poll", "protocol variant or 'sequential'")
+		procs   = flag.Int("procs", 0, "total compute processors (uses the paper's node layout)")
+		nodes   = flag.Int("nodes", 1, "nodes (ignored when -procs is set)")
+		ppn     = flag.Int("ppn", 1, "compute processors per node (ignored when -procs is set)")
+		size    = flag.String("size", "default", "dataset size: small or default")
+		seq     = flag.Bool("seq-baseline", true, "also run the sequential baseline and report speedup")
+	)
+	flag.Parse()
+	if err := run(*app, *variant, *procs, *nodes, *ppn, apps.Size(*size), *seq); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, variant string, procs, nodes, ppn int, size apps.Size, seqBaseline bool) error {
+	entry, err := apps.Get(app)
+	if err != nil {
+		return err
+	}
+	if procs > 0 {
+		l, err := variants.LayoutFor(procs)
+		if err != nil {
+			return err
+		}
+		nodes, ppn = l.Nodes, l.PerNode
+	}
+	cfg, err := variants.Config(variant, nodes, ppn, variants.Options{})
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(cfg, entry.New(size))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s (%s) on %s, %d processors (%dx%d)\n",
+		app, entry.Problem(size), variant, res.Procs, nodes, ppn)
+	fmt.Printf("  execution time: %s\n", fmtTime(res.Time))
+	if seqBaseline && variant != variants.Sequential {
+		seqCfg, err := variants.Config(variants.Sequential, 1, 1, variants.Options{})
+		if err != nil {
+			return err
+		}
+		seqRes, err := core.Run(seqCfg, entry.New(size))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  sequential:     %s  (speedup %.2f)\n",
+			fmtTime(seqRes.Time), float64(seqRes.Time)/float64(res.Time))
+	}
+	tot := res.Total
+	fmt.Printf("  barriers %d  locks %d  read faults %d  write faults %d\n",
+		tot.Barriers, tot.LockAcquires, tot.ReadFaults, tot.WriteFaults)
+	fmt.Printf("  page transfers %d  page copies %d  twins %d  diffs %d/%d  messages %d  data %.1f KB\n",
+		tot.PageTransfers, tot.PageCopies, tot.Twins, tot.DiffsCreated, tot.DiffsApplied,
+		tot.Messages, float64(tot.DataBytes)/1024)
+	var catSum sim.Time
+	for c := core.Category(0); c < core.NumCategories; c++ {
+		catSum += tot.Cat[c]
+	}
+	elapsed := sim.Time(0)
+	for _, st := range res.PerProc {
+		elapsed += st.FinishedAt
+	}
+	if elapsed > 0 {
+		fmt.Printf("  breakdown:")
+		for c := core.Category(0); c < core.NumCategories; c++ {
+			fmt.Printf(" %s %.1f%%", c, 100*float64(tot.Cat[c])/float64(elapsed))
+		}
+		fmt.Printf(" Comm&Wait %.1f%%\n", 100*float64(elapsed-catSum)/float64(elapsed))
+	}
+	fmt.Printf("  MC traffic:")
+	keys := make([]string, 0, len(res.Traffic))
+	for k := range res.Traffic {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf(" %s %.1fKB", k, float64(res.Traffic[k])/1024)
+	}
+	fmt.Println()
+	if len(res.Checks) > 0 {
+		fmt.Printf("  checks:")
+		ckeys := make([]string, 0, len(res.Checks))
+		for k := range res.Checks {
+			ckeys = append(ckeys, k)
+		}
+		sort.Strings(ckeys)
+		for _, k := range ckeys {
+			fmt.Printf(" %s=%g", k, res.Checks[k])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fmtTime(t sim.Time) string {
+	return fmt.Sprintf("%.3f ms", float64(t)/1e6)
+}

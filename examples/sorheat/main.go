@@ -1,0 +1,71 @@
+// Sorheat: the paper's motivating scientific workload, red-black SOR heat
+// diffusion, compared across all six protocol variants at a chosen scale.
+//
+//	go run ./examples/sorheat -procs 8 -rows 256 -cols 512 -iters 6
+//
+// Prints a per-variant summary: execution time, speedup over the unlinked
+// sequential run, and the protocol activity behind it — the Figure 5 / Table
+// 3 story for one application at one processor count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps/sor"
+	"repro/internal/core"
+	"repro/internal/variants"
+)
+
+func main() {
+	var (
+		procs = flag.Int("procs", 8, "compute processors (paper layouts: 1,2,4,8,12,16,24,32)")
+		rows  = flag.Int("rows", 256, "grid rows")
+		cols  = flag.Int("cols", 512, "grid cols (even)")
+		iters = flag.Int("iters", 6, "red+black iterations")
+	)
+	flag.Parse()
+
+	cfg := sor.Config{Rows: *rows, Cols: *cols, Iters: *iters}
+	mk := func() *core.Program { return sor.New(cfg) }
+
+	seqCfg, err := variants.Config(variants.Sequential, 1, 1, variants.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := core.Run(seqCfg, mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SOR %dx%d, %d iters; sequential time %.3f ms, checksum %.6f\n\n",
+		*rows, *cols, *iters, float64(seq.Time)/1e6, seq.Checks["checksum"])
+	fmt.Printf("%-14s %12s %9s %9s %9s %10s %10s\n",
+		"variant", "time (ms)", "speedup", "rfaults", "wfaults", "pages", "msgs")
+
+	layout, err := variants.LayoutFor(*procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range variants.Names {
+		if !variants.Feasible(v, layout) {
+			fmt.Printf("%-14s %12s\n", v, "n/a at this layout")
+			continue
+		}
+		c, err := variants.Config(v, layout.Nodes, layout.PerNode, variants.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(c, mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Checks["checksum"] != seq.Checks["checksum"] {
+			log.Fatalf("%s: checksum mismatch: %v != %v", v, res.Checks["checksum"], seq.Checks["checksum"])
+		}
+		fmt.Printf("%-14s %12.3f %9.2f %9d %9d %10d %10d\n",
+			v, float64(res.Time)/1e6, float64(seq.Time)/float64(res.Time),
+			res.Total.ReadFaults, res.Total.WriteFaults,
+			res.Total.PageTransfers+res.Total.PageFetches, res.Total.Messages)
+	}
+}

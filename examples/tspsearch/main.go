@@ -1,0 +1,68 @@
+// Tspsearch: branch-and-bound TSP over DSM — the paper's lock-intensive,
+// nondeterministic workload. Shows how execution time varies across
+// protocols while the computed optimum is identical, and how the queue and
+// best-tour locks drive protocol activity.
+//
+//	go run ./examples/tspsearch -cities 11 -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps/tsp"
+	"repro/internal/core"
+	"repro/internal/variants"
+)
+
+func main() {
+	var (
+		cities = flag.Int("cities", 11, "number of cities (4-20)")
+		procs  = flag.Int("procs", 8, "compute processors")
+		seed   = flag.Int64("seed", 42, "instance seed")
+	)
+	flag.Parse()
+
+	cfg := tsp.Default()
+	cfg.Cities = *cities
+	cfg.Seed = *seed
+	mk := func() *core.Program { return tsp.New(cfg) }
+
+	seqCfg, err := variants.Config(variants.Sequential, 1, 1, variants.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := core.Run(seqCfg, mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TSP with %d cities (seed %d): optimal tour length %.6f\n\n",
+		*cities, *seed, seq.Checks["tourlen"])
+	fmt.Printf("%-14s %12s %9s %9s %12s\n", "variant", "time (ms)", "speedup", "locks", "lock rate/s")
+
+	layout, err := variants.LayoutFor(*procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range variants.Names {
+		if !variants.Feasible(v, layout) {
+			continue
+		}
+		c, err := variants.Config(v, layout.Nodes, layout.PerNode, variants.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(c, mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Checks["tourlen"] != seq.Checks["tourlen"] {
+			log.Fatalf("%s: wrong optimum %v, want %v", v, res.Checks["tourlen"], seq.Checks["tourlen"])
+		}
+		secs := float64(res.Time) / 1e9
+		fmt.Printf("%-14s %12.3f %9.2f %9d %12.0f\n",
+			v, float64(res.Time)/1e6, float64(seq.Time)/float64(res.Time),
+			res.Total.LockAcquires, float64(res.Total.LockAcquires)/secs)
+	}
+}

@@ -1,0 +1,66 @@
+// Package apptest provides the shared cross-protocol validation harness for
+// the benchmark applications: every application must produce the same answer
+// under the sequential baseline, Cashmere, and TreadMarks.
+package apptest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/variants"
+)
+
+// RunVariant runs the program under the named variant on the given cluster
+// shape and returns the result.
+func RunVariant(t *testing.T, mk func() *core.Program, variant string, nodes, ppn int) *core.Result {
+	t.Helper()
+	cfg, err := variants.Config(variant, nodes, ppn, variants.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s: %v", variant, err)
+	}
+	return res
+}
+
+// CrossCheck runs the program sequentially and under both polling protocol
+// variants on nodes x ppn processors, and requires every reported check
+// value to agree within relTol (0 = exact).
+func CrossCheck(t *testing.T, mk func() *core.Program, nodes, ppn int, relTol float64) map[string]*core.Result {
+	t.Helper()
+	results := map[string]*core.Result{
+		"sequential":  RunVariant(t, mk, "sequential", 1, 1),
+		"csm_poll":    RunVariant(t, mk, "csm_poll", nodes, ppn),
+		"tmk_mc_poll": RunVariant(t, mk, "tmk_mc_poll", nodes, ppn),
+	}
+	base := results["sequential"].Checks
+	if len(base) == 0 {
+		t.Fatal("program reported no checks")
+	}
+	for name, res := range results {
+		for key, want := range base {
+			got, ok := res.Checks[key]
+			if !ok {
+				t.Errorf("%s: missing check %q", name, key)
+				continue
+			}
+			if relTol == 0 {
+				if got != want {
+					t.Errorf("%s: check %q = %v, want %v (exact)", name, key, got, want)
+				}
+				continue
+			}
+			denom := math.Abs(want)
+			if denom < 1 {
+				denom = 1
+			}
+			if math.Abs(got-want)/denom > relTol {
+				t.Errorf("%s: check %q = %v, want %v (tol %v)", name, key, got, want, relTol)
+			}
+		}
+	}
+	return results
+}

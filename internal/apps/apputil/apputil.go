@@ -1,0 +1,36 @@
+// Package apputil provides small helpers shared by the benchmark
+// applications: work partitioning and deterministic pseudo-random numbers.
+package apputil
+
+import "math/rand"
+
+// Band returns the half-open range [lo, hi) of items assigned to rank when n
+// items are divided into contiguous, roughly equal bands across nprocs
+// processors.
+func Band(n, nprocs, rank int) (lo, hi int) {
+	base := n / nprocs
+	rem := n % nprocs
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// OwnerCyclic returns the rank owning item i under cyclic distribution.
+func OwnerCyclic(i, nprocs int) int { return i % nprocs }
+
+// Rng returns a deterministic PRNG for the given seed. All applications
+// derive their data from fixed seeds so runs are reproducible across
+// protocols and processor counts.
+func Rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,306 @@
+// Package barnes implements the paper's Barnes application: an N-body
+// simulation using the hierarchical Barnes-Hut method (from SPLASH). Each
+// leaf of the octree is a body; internal nodes are cells summarizing bodies
+// in close physical proximity. Tree construction is performed sequentially
+// (by rank 0, as in the paper); the force-computation and position-update
+// phases are parallelized over contiguous body bands with barriers between
+// phases (§4.2). The original's dynamic load balancing is simplified to
+// static bands (documented in DESIGN.md).
+package barnes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Bodies int
+	Steps  int
+	Theta  float64 // opening criterion
+	Seed   int64
+}
+
+// Default is the standard benchmark size (the paper uses 128K bodies).
+func Default() Config { return Config{Bodies: 2048, Steps: 3, Theta: 0.6, Seed: 11} }
+
+// Small is a fast size for tests.
+func Small() Config { return Config{Bodies: 256, Steps: 2, Theta: 0.7, Seed: 11} }
+
+// Charged per tree level visited during insertion and per cell interaction
+// during force computation.
+const (
+	InsertCost = 60 * sim.Nanosecond
+	ForceCost  = 90 * sim.Nanosecond
+)
+
+const dt = 0.01
+
+// Child-slot encoding in the shared tree.
+const (
+	slotEmpty = 0 // no child
+	// Cells are stored as c+1; bodies as -(b+1).
+)
+
+// New builds the Barnes program.
+func New(c Config) *core.Program {
+	if c.Bodies < 8 || c.Steps < 1 || c.Theta <= 0 {
+		panic(fmt.Sprintf("barnes: bad config %+v", c))
+	}
+	n := c.Bodies
+	maxCells := 4 * n
+	l := core.NewLayout()
+	pos := l.F64Pages(3 * n)
+	vel := l.F64Pages(3 * n)
+	acc := l.F64Pages(3 * n)
+	mass := l.F64Pages(n)
+	cellChild := l.I64Pages(8 * maxCells)
+	cellCom := l.F64Pages(3 * maxCells)
+	cellMass := l.F64Pages(maxCells)
+	cellWidth := l.F64Pages(maxCells)
+	meta := l.I64Pages(1) // [0] = number of cells
+
+	return &core.Program{
+		Name:        "Barnes",
+		SharedBytes: l.Size(),
+		Barriers:    3,
+		Init: func(w *core.ImageWriter) {
+			rng := apputil.Rng(c.Seed)
+			for i := 0; i < n; i++ {
+				// Plummer-ish clustered sphere in the unit cube.
+				r := 0.1 + 0.35*rng.Float64()
+				th := rng.Float64() * 2 * math.Pi
+				ph := math.Acos(2*rng.Float64() - 1)
+				w.WriteF64(pos.Addr(3*i), 0.5+r*math.Sin(ph)*math.Cos(th))
+				w.WriteF64(pos.Addr(3*i+1), 0.5+r*math.Sin(ph)*math.Sin(th))
+				w.WriteF64(pos.Addr(3*i+2), 0.5+r*math.Cos(ph))
+				mass.Init(w, i, 1.0/float64(n))
+				for d := 0; d < 3; d++ {
+					vel.Init(w, 3*i+d, (rng.Float64()-0.5)*0.05)
+				}
+			}
+		},
+		Body: func(p *core.Proc) {
+			np := p.NumProcs()
+			me := p.Rank()
+			lo, hi := apputil.Band(n, np, me)
+
+			// Tree-builder state local to rank 0: cell geometric centers and
+			// a per-step allocation counter (geometry is only needed during
+			// construction, so it stays private, as in SPLASH).
+			var ctr [][3]float64
+			newCell := func(cx, cy, cz, width float64) int {
+				id := int(meta.At(p, 0))
+				if id >= maxCells {
+					panic("barnes: cell pool exhausted")
+				}
+				meta.Set(p, 0, int64(id+1))
+				for s := 0; s < 8; s++ {
+					cellChild.Set(p, id*8+s, slotEmpty)
+				}
+				cellWidth.Set(p, id, width)
+				cellMass.Set(p, id, 0)
+				for id >= len(ctr) {
+					ctr = append(ctr, [3]float64{})
+				}
+				ctr[id] = [3]float64{cx, cy, cz}
+				return id
+			}
+			bodyPos := func(b int) (float64, float64, float64) {
+				return pos.At(p, 3*b), pos.At(p, 3*b+1), pos.At(p, 3*b+2)
+			}
+			octant := func(cell int, x, y, z float64) int {
+				o := 0
+				if x >= ctr[cell][0] {
+					o |= 1
+				}
+				if y >= ctr[cell][1] {
+					o |= 2
+				}
+				if z >= ctr[cell][2] {
+					o |= 4
+				}
+				return o
+			}
+			childCenter := func(cell, o int) (float64, float64, float64) {
+				q := cellWidth.At(p, cell) / 4
+				cx, cy, cz := ctr[cell][0]-q, ctr[cell][1]-q, ctr[cell][2]-q
+				if o&1 != 0 {
+					cx += 2 * q
+				}
+				if o&2 != 0 {
+					cy += 2 * q
+				}
+				if o&4 != 0 {
+					cz += 2 * q
+				}
+				return cx, cy, cz
+			}
+			var insert func(cell, body int, depth int)
+			insert = func(cell, body int, depth int) {
+				p.Compute(InsertCost)
+				if depth > 64 {
+					panic("barnes: insertion depth exceeded (coincident bodies?)")
+				}
+				x, y, z := bodyPos(body)
+				o := octant(cell, x, y, z)
+				slot := cellChild.At(p, cell*8+o)
+				switch {
+				case slot == slotEmpty:
+					cellChild.Set(p, cell*8+o, int64(-(body + 1)))
+				case slot < 0:
+					// Occupied by a body: split into a subcell.
+					other := int(-slot - 1)
+					cx, cy, cz := childCenter(cell, o)
+					sub := newCell(cx, cy, cz, cellWidth.At(p, cell)/2)
+					cellChild.Set(p, cell*8+o, int64(sub+1))
+					insert(sub, other, depth+1)
+					insert(sub, body, depth+1)
+				default:
+					insert(int(slot-1), body, depth+1)
+				}
+			}
+			// summarize computes centers of mass bottom-up.
+			var summarize func(cell int) (float64, float64, float64, float64)
+			summarize = func(cell int) (mx, my, mz, m float64) {
+				for s := 0; s < 8; s++ {
+					slot := cellChild.At(p, cell*8+s)
+					if slot == slotEmpty {
+						continue
+					}
+					p.Compute(InsertCost)
+					if slot < 0 {
+						b := int(-slot - 1)
+						bm := mass.At(p, b)
+						x, y, z := bodyPos(b)
+						mx += bm * x
+						my += bm * y
+						mz += bm * z
+						m += bm
+					} else {
+						sx, sy, sz, sm := summarize(int(slot - 1))
+						mx += sx
+						my += sy
+						mz += sz
+						m += sm
+					}
+				}
+				if m > 0 {
+					cellCom.Set(p, cell*3, mx/m)
+					cellCom.Set(p, cell*3+1, my/m)
+					cellCom.Set(p, cell*3+2, mz/m)
+				}
+				cellMass.Set(p, cell, m)
+				return mx, my, mz, m
+			}
+
+			// force walks the tree for one body.
+			force := func(b int) (float64, float64, float64) {
+				x, y, z := bodyPos(b)
+				var fx, fy, fz float64
+				var walk func(cell int)
+				walk = func(cell int) {
+					for s := 0; s < 8; s++ {
+						p.PollPoint()
+						slot := cellChild.At(p, cell*8+s)
+						if slot == slotEmpty {
+							continue
+						}
+						if slot < 0 {
+							ob := int(-slot - 1)
+							if ob == b {
+								continue
+							}
+							ox, oy, oz := bodyPos(ob)
+							dx, dy, dz := ox-x, oy-y, oz-z
+							r2 := dx*dx + dy*dy + dz*dz + 1e-4
+							f := mass.At(p, ob) / (r2 * math.Sqrt(r2))
+							fx += f * dx
+							fy += f * dy
+							fz += f * dz
+							p.Compute(ForceCost)
+							continue
+						}
+						sc := int(slot - 1)
+						cx := cellCom.At(p, sc*3)
+						cy := cellCom.At(p, sc*3+1)
+						cz := cellCom.At(p, sc*3+2)
+						dx, dy, dz := cx-x, cy-y, cz-z
+						r2 := dx*dx + dy*dy + dz*dz + 1e-4
+						w := cellWidth.At(p, sc)
+						p.Compute(ForceCost)
+						if w*w < c.Theta*c.Theta*r2 {
+							// Far enough: use the cell's center of mass.
+							f := cellMass.At(p, sc) / (r2 * math.Sqrt(r2))
+							fx += f * dx
+							fy += f * dy
+							fz += f * dz
+						} else {
+							walk(sc)
+						}
+					}
+				}
+				walk(0)
+				return fx, fy, fz
+			}
+
+			for step := 0; step < c.Steps; step++ {
+				if me == 0 {
+					// Sequential tree construction (paper: "performed
+					// sequentially").
+					meta.Set(p, 0, 0)
+					root := newCell(0.5, 0.5, 0.5, 1.0)
+					_ = root
+					for b := 0; b < n; b++ {
+						insert(0, b, 0)
+					}
+					summarize(0)
+				}
+				p.Barrier(0)
+				// Parallel force computation over body bands.
+				for b := lo; b < hi; b++ {
+					fx, fy, fz := force(b)
+					acc.Set(p, 3*b, fx)
+					acc.Set(p, 3*b+1, fy)
+					acc.Set(p, 3*b+2, fz)
+				}
+				p.Barrier(1)
+				// Parallel integration.
+				for b := lo; b < hi; b++ {
+					p.PollPoint()
+					for d := 0; d < 3; d++ {
+						v := vel.At(p, 3*b+d) + dt*acc.At(p, 3*b+d)
+						vel.Set(p, 3*b+d, v)
+						x := pos.At(p, 3*b+d) + dt*v
+						// Keep bodies inside the unit cube (reflecting walls)
+						// so the fixed root cell always covers them.
+						if x < 0.01 {
+							x = 0.02 - x
+							vel.Set(p, 3*b+d, -v)
+						}
+						if x > 0.99 {
+							x = 1.98 - x
+							vel.Set(p, 3*b+d, -v)
+						}
+						pos.Set(p, 3*b+d, x)
+					}
+				}
+				p.Barrier(2)
+			}
+			p.Finish()
+			if me == 0 {
+				sum := 0.0
+				for b := 0; b < n; b++ {
+					for d := 0; d < 3; d++ {
+						sum += math.Abs(pos.At(p, 3*b+d))
+					}
+				}
+				p.ReportCheck("positions", sum)
+			}
+		},
+	}
+}

@@ -1,0 +1,40 @@
+package barnes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	results := apptest.CrossCheck(t, mk, 2, 2, 0)
+	sum := results["sequential"].Checks["positions"]
+	if sum == 0 || math.IsNaN(sum) {
+		t.Errorf("degenerate position checksum %v", sum)
+	}
+	// Bodies stay in the unit cube.
+	if sum > float64(3*Small().Bodies) {
+		t.Errorf("position checksum %v outside cube bound", sum)
+	}
+}
+
+func TestTreeIsReadShared(t *testing.T) {
+	// The sequentially built tree is read by everyone: remote processors
+	// must fetch tree pages each step.
+	res := apptest.RunVariant(t, func() *core.Program { return New(Small()) }, "csm_poll", 2, 1)
+	if res.Total.PageTransfers == 0 {
+		t.Error("no page transfers for tree distribution")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	New(Config{Bodies: 1})
+}

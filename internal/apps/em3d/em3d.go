@@ -1,0 +1,127 @@
+// Package em3d implements the paper's Em3d application: electromagnetic wave
+// propagation through 3D objects. The major data structure is a bipartite
+// graph of electric and magnetic field nodes, equally distributed among
+// processors; each phase updates one side's potentials from the other
+// side's, with dependencies mostly local and a fraction crossing partition
+// boundaries, and barriers between phases (§4.2).
+package em3d
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	// Nodes is the number of nodes per side (E and H).
+	Nodes int
+	// Degree is the number of dependencies per node.
+	Degree int
+	// RemoteFrac is the fraction of dependencies that cross processor
+	// partition boundaries.
+	RemoteFrac float64
+	// Iters is the number of E+H phase pairs.
+	Iters int
+	Seed  int64
+}
+
+// Default is the standard benchmark size (the paper uses 60160 nodes).
+func Default() Config {
+	return Config{Nodes: 32 * 1024, Degree: 6, RemoteFrac: 0.03, Iters: 5, Seed: 5}
+}
+
+// Small is a fast size for tests.
+func Small() Config {
+	return Config{Nodes: 2048, Degree: 4, RemoteFrac: 0.1, Iters: 3, Seed: 5}
+}
+
+// UpdateCost is the charged cost per dependency accumulation (load the
+// neighbour pointer and weight, multiply-accumulate into the potential).
+const UpdateCost = 600 * sim.Nanosecond
+
+// New builds the Em3d program.
+func New(c Config) *core.Program {
+	if c.Nodes < 16 || c.Degree < 1 || c.RemoteFrac < 0 || c.RemoteFrac > 1 || c.Iters < 1 {
+		panic(fmt.Sprintf("em3d: bad config %+v", c))
+	}
+	n := c.Nodes
+	l := core.NewLayout()
+	eval := l.F64Pages(n)
+	hval := l.F64Pages(n)
+	// Dependency index and weight tables (read-only after init).
+	edep := l.I64Pages(n * c.Degree)
+	hdep := l.I64Pages(n * c.Degree)
+	ewt := l.F64Pages(n * c.Degree)
+	hwt := l.F64Pages(n * c.Degree)
+
+	// Build the dependency graph deterministically: node i depends mostly
+	// on nearby nodes of the other side, with RemoteFrac jumping anywhere.
+	build := func(dep core.I64Array, wt core.F64Array, w *core.ImageWriter, seed int64) {
+		rng := apputil.Rng(seed)
+		for i := 0; i < n; i++ {
+			for d := 0; d < c.Degree; d++ {
+				var j int
+				if rng.Float64() < c.RemoteFrac {
+					j = rng.Intn(n)
+				} else {
+					j = i + rng.Intn(33) - 16 // local window
+					if j < 0 {
+						j += n
+					}
+					if j >= n {
+						j -= n
+					}
+				}
+				dep.Init(w, i*c.Degree+d, int64(j))
+				wt.Init(w, i*c.Degree+d, rng.Float64()*0.1)
+			}
+		}
+	}
+
+	return &core.Program{
+		Name:        "Em3d",
+		SharedBytes: l.Size(),
+		Barriers:    2,
+		Init: func(w *core.ImageWriter) {
+			rng := apputil.Rng(c.Seed)
+			for i := 0; i < n; i++ {
+				eval.Init(w, i, rng.Float64())
+				hval.Init(w, i, rng.Float64())
+			}
+			build(edep, ewt, w, c.Seed+1)
+			build(hdep, hwt, w, c.Seed+2)
+		},
+		Body: func(p *core.Proc) {
+			lo, hi := apputil.Band(n, p.NumProcs(), p.Rank())
+			phase := func(dst core.F64Array, src core.F64Array, dep core.I64Array, wt core.F64Array) {
+				for i := lo; i < hi; i++ {
+					p.PollPoint()
+					v := dst.At(p, i)
+					for d := 0; d < c.Degree; d++ {
+						j := int(dep.At(p, i*c.Degree+d))
+						v -= wt.At(p, i*c.Degree+d) * src.At(p, j)
+						p.Compute(UpdateCost)
+					}
+					dst.Set(p, i, v)
+				}
+			}
+			for iter := 0; iter < c.Iters; iter++ {
+				phase(eval, hval, edep, ewt)
+				p.Barrier(0)
+				phase(hval, eval, hdep, hwt)
+				p.Barrier(1)
+			}
+			p.Finish()
+			if p.Rank() == 0 {
+				sum := 0.0
+				for i := 0; i < n; i++ {
+					sum += eval.At(p, i) + hval.At(p, i)
+				}
+				p.ReportCheck("field", sum)
+			}
+		},
+	}
+}

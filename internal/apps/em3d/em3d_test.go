@@ -1,0 +1,38 @@
+package em3d
+
+import (
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	results := apptest.CrossCheck(t, mk, 2, 2, 0)
+	if results["sequential"].Checks["field"] == 0 {
+		t.Error("zero field checksum")
+	}
+}
+
+func TestRemoteFractionDrivesTraffic(t *testing.T) {
+	// Large enough that each band spans multiple pages, so locality matters.
+	lowCfg := Config{Nodes: 8192, Degree: 4, RemoteFrac: 0, Iters: 2, Seed: 5}
+	highCfg := lowCfg
+	highCfg.RemoteFrac = 0.5
+	low := apptest.RunVariant(t, func() *core.Program { return New(lowCfg) }, "csm_poll", 4, 1)
+	high := apptest.RunVariant(t, func() *core.Program { return New(highCfg) }, "csm_poll", 4, 1)
+	if high.Total.PageTransfers <= low.Total.PageTransfers {
+		t.Errorf("remote dependencies did not increase page transfers: %d vs %d",
+			high.Total.PageTransfers, low.Total.PageTransfers)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	New(Config{Nodes: 1})
+}

@@ -1,0 +1,138 @@
+// Package gauss implements the paper's Gauss application: a solver for a
+// linear system AX = B using Gaussian elimination and back-substitution.
+// Each row is the responsibility of a single processor; rows are distributed
+// cyclically for load balance, and a synchronization flag per row announces
+// when it is available for use as a pivot (§4.2). The flags are implemented
+// with per-row locks, the standard DSM idiom for flag synchronization under
+// release consistency.
+package gauss
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	N    int // matrix dimension (the paper uses 2048)
+	Seed int64
+}
+
+// Default is the standard benchmark size.
+func Default() Config { return Config{N: 320, Seed: 31} }
+
+// Small is a fast size for tests.
+func Small() Config { return Config{N: 64, Seed: 31} }
+
+// FlopCost is the charged cost of one multiply-subtract.
+const FlopCost = 10 * sim.Nanosecond
+
+// New builds the Gauss program.
+func New(c Config) *core.Program {
+	if c.N < 4 {
+		panic(fmt.Sprintf("gauss: bad config %+v", c))
+	}
+	n := c.N
+	w := n + 1 // row width: matrix row plus the b entry
+	l := core.NewLayout()
+	rows := make([]core.F64Array, n)
+	for i := range rows {
+		// Row-aligned storage: each row starts on a page boundary so row
+		// ownership matches coherence units where possible.
+		rows[i] = l.F64Pages(w)
+	}
+	flags := l.I64Pages(n)
+
+	return &core.Program{
+		Name:        "Gauss",
+		SharedBytes: l.Size(),
+		Locks:       n,
+		Barriers:    1,
+		Init: func(iw *core.ImageWriter) {
+			rng := apputil.Rng(c.Seed)
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				for j := 0; j < n; j++ {
+					v := rng.Float64()
+					rows[i].Init(iw, j, v)
+					sum += v
+				}
+				// Diagonal dominance: no pivoting needed.
+				rows[i].Init(iw, i, sum+1.0)
+				rows[i].Init(iw, n, rng.Float64()*float64(n)) // b
+			}
+		},
+		Body: func(p *core.Proc) {
+			np := p.NumProcs()
+			me := p.Rank()
+			waitFlag := func(k int) {
+				for {
+					p.Lock(k)
+					v := flags.At(p, k)
+					p.Unlock(k)
+					if v != 0 {
+						return
+					}
+					p.Compute(5 * sim.Microsecond)
+				}
+			}
+			for k := 0; k < n; k++ {
+				if apputil.OwnerCyclic(k, np) == me {
+					// Normalize pivot row k and publish it.
+					piv := rows[k].At(p, k)
+					for j := k; j <= n; j++ {
+						p.PollPoint()
+						rows[k].Set(p, j, rows[k].At(p, j)/piv)
+						p.Compute(FlopCost)
+					}
+					p.Lock(k)
+					flags.Set(p, k, 1)
+					p.Unlock(k)
+				} else {
+					waitFlag(k)
+				}
+				// Eliminate column k from our rows below k.
+				for i := k + 1; i < n; i++ {
+					if apputil.OwnerCyclic(i, np) != me {
+						continue
+					}
+					f := rows[i].At(p, k)
+					if f == 0 {
+						continue
+					}
+					for j := k; j <= n; j++ {
+						p.PollPoint()
+						rows[i].Set(p, j, rows[i].At(p, j)-f*rows[k].At(p, j))
+						p.Compute(FlopCost)
+					}
+				}
+			}
+			p.Barrier(0)
+			p.Finish()
+			if me == 0 {
+				// Back-substitution (sequential) and residual-free checksum.
+				x := make([]float64, n)
+				for i := n - 1; i >= 0; i-- {
+					s := rows[i].At(p, n)
+					for j := i + 1; j < n; j++ {
+						s -= rows[i].At(p, j) * x[j]
+					}
+					x[i] = s / rows[i].At(p, i)
+				}
+				sum := 0.0
+				for i := 0; i < n; i++ {
+					if math.IsNaN(x[i]) {
+						p.ReportCheck("solution", math.NaN())
+						return
+					}
+					sum += x[i]
+				}
+				p.ReportCheck("solution", sum)
+			}
+		},
+	}
+}

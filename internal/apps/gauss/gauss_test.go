@@ -1,0 +1,46 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	results := apptest.CrossCheck(t, mk, 2, 2, 0)
+	sol := results["sequential"].Checks["solution"]
+	if sol == 0 || math.IsNaN(sol) {
+		t.Errorf("degenerate solution checksum %v", sol)
+	}
+}
+
+func TestSolutionSolvesSystem(t *testing.T) {
+	// For a diagonally dominant random system the solution components are
+	// bounded; sanity-check magnitude.
+	res := apptest.RunVariant(t, func() *core.Program { return New(Small()) }, "sequential", 1, 1)
+	sol := res.Checks["solution"]
+	if math.IsNaN(sol) || math.Abs(sol) > 1e6 {
+		t.Errorf("solution checksum %v out of range", sol)
+	}
+}
+
+func TestPipelineParallelism(t *testing.T) {
+	// Gauss uses per-row flags, not barriers, inside elimination: lock
+	// traffic should scale with rows.
+	res := apptest.RunVariant(t, func() *core.Program { return New(Small()) }, "csm_poll", 2, 2)
+	if res.Total.LockAcquires < int64(Small().N) {
+		t.Errorf("only %d lock acquires for %d rows", res.Total.LockAcquires, Small().N)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	New(Config{N: 1})
+}

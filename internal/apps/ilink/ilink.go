@@ -1,0 +1,107 @@
+// Package ilink implements the paper's Ilink application: the computational
+// core of the FASTLINK genetic linkage analysis package. The main shared
+// data is a pool of sparse arrays of genotype probabilities; a master
+// processor assigns nonzero elements to processors round-robin for load
+// balance, each processor updates its elements, and the master then sums the
+// contributions — an inherently serial component that limits scalability
+// (§4.2). Because only a small portion of each page is modified between
+// synchronization operations, TreadMarks' diffs move much less data than
+// Cashmere's whole-page transfers, the paper's key Ilink observation.
+package ilink
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	// Elements is the genotype array size.
+	Elements int
+	// Density is the fraction of nonzero entries (sparse pattern).
+	Density float64
+	// Iters is the number of update/summation rounds (likelihood
+	// evaluations).
+	Iters int
+	Seed  int64
+}
+
+// Default is the standard benchmark size.
+func Default() Config { return Config{Elements: 64 * 1024, Density: 0.10, Iters: 6, Seed: 97} }
+
+// Small is a fast size for tests.
+func Small() Config { return Config{Elements: 8 * 1024, Density: 0.15, Iters: 3, Seed: 97} }
+
+// UpdateCost is the charged cost per element probability update. Genotype
+// probability updates in FASTLINK loop over haplotype combinations, so each
+// is tens of microseconds of computation.
+const UpdateCost = 30 * sim.Microsecond
+
+// New builds the Ilink program.
+func New(c Config) *core.Program {
+	if c.Elements < 64 || c.Density <= 0 || c.Density > 1 || c.Iters < 1 {
+		panic(fmt.Sprintf("ilink: bad config %+v", c))
+	}
+	l := core.NewLayout()
+	gen := l.F64Pages(c.Elements)
+	result := l.F64Pages(1)
+
+	// The sparsity pattern is fixed (genotype structure): precompute the
+	// nonzero indices deterministically.
+	rng := apputil.Rng(c.Seed)
+	var nonzero []int
+	for i := 0; i < c.Elements; i++ {
+		if rng.Float64() < c.Density {
+			nonzero = append(nonzero, i)
+		}
+	}
+
+	return &core.Program{
+		Name:        "Ilink",
+		SharedBytes: l.Size(),
+		Barriers:    2,
+		Init: func(w *core.ImageWriter) {
+			r := apputil.Rng(c.Seed + 1)
+			for _, i := range nonzero {
+				gen.Init(w, i, r.Float64())
+			}
+		},
+		Body: func(p *core.Proc) {
+			np := p.NumProcs()
+			me := p.Rank()
+			for iter := 0; iter < c.Iters; iter++ {
+				// Update phase: the master's round-robin assignment maps
+				// nonzero element e to processor e mod np.
+				scale := 1.0 + 1.0/float64(iter+2)
+				for idx, e := range nonzero {
+					if idx%np != me {
+						continue
+					}
+					p.PollPoint()
+					gen.Set(p, e, gen.At(p, e)*scale*0.75)
+					p.Compute(UpdateCost)
+				}
+				p.Barrier(0)
+				// Summation phase: the master accumulates all contributions
+				// (serial component).
+				if me == 0 {
+					sum := 0.0
+					for _, e := range nonzero {
+						p.PollPoint()
+						sum += gen.At(p, e)
+						p.Compute(500 * sim.Nanosecond)
+					}
+					result.Set(p, 0, sum)
+				}
+				p.Barrier(1)
+			}
+			p.Finish()
+			if me == 0 {
+				p.ReportCheck("likelihood", result.At(p, 0))
+			}
+		},
+	}
+}

@@ -1,0 +1,39 @@
+package ilink
+
+import (
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	results := apptest.CrossCheck(t, mk, 2, 2, 0)
+	if results["sequential"].Checks["likelihood"] == 0 {
+		t.Error("zero likelihood")
+	}
+}
+
+// TestSparsityFavorsDiffs checks the paper's Ilink observation: TreadMarks
+// moves less data than Cashmere because diffs capture only the sparse
+// modifications while Cashmere transfers whole pages.
+func TestSparsityFavorsDiffs(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	csm := apptest.RunVariant(t, mk, "csm_poll", 2, 1)
+	tmk := apptest.RunVariant(t, mk, "tmk_mc_poll", 2, 1)
+	csmData := csm.Traffic["page"]
+	tmkData := tmk.Traffic["page"]
+	if tmkData >= csmData {
+		t.Errorf("TMK page data %d not below CSM %d despite sparsity", tmkData, csmData)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	New(Config{Elements: 1})
+}

@@ -1,0 +1,109 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+	"repro/internal/variants"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	apptest.CrossCheck(t, mk, 2, 2, 0)
+}
+
+func TestFactorizationCorrect(t *testing.T) {
+	// Factor a tiny matrix sequentially and verify L*U reconstructs A.
+	c := Config{N: 16, B: 8}
+	cfg, err := variants.Config("sequential", 1, 1, variants.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the same initial matrix the Init function generates.
+	nb := c.N / c.B
+	orig := make([][]float64, c.N)
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>40) / float64(1<<24)
+	}
+	for i := range orig {
+		orig[i] = make([]float64, c.N)
+	}
+	for I := 0; I < nb; I++ {
+		for J := 0; J < nb; J++ {
+			for r := 0; r < c.B; r++ {
+				for cc := 0; cc < c.B; cc++ {
+					v := next()
+					if I == J && r == cc {
+						v += float64(c.N)
+					}
+					orig[I*c.B+r][J*c.B+cc] = v
+				}
+			}
+		}
+	}
+	// Run and capture the factored matrix through an extra verification
+	// program wrapper: reuse New and read back via the checksum... instead,
+	// factor orig with the same textbook algorithm and compare checksums.
+	want := referenceLU(orig)
+	res, err := core.Run(cfg, New(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Checks["checksum"]
+	if math.Abs(got-want)/math.Abs(want) > 1e-12 {
+		t.Errorf("checksum = %v, reference LU = %v", got, want)
+	}
+}
+
+// referenceLU factors a dense matrix in place (no pivoting, unit lower
+// triangular L) and returns the element sum of the packed result.
+func referenceLU(a [][]float64) float64 {
+	n := len(a)
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i][k] /= a[k][k]
+			for j := k + 1; j < n; j++ {
+				a[i][j] -= a[i][k] * a[k][j]
+			}
+		}
+	}
+	sum := 0.0
+	for i := range a {
+		for j := range a[i] {
+			sum += a[i][j]
+		}
+	}
+	return sum
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad block size accepted")
+		}
+	}()
+	New(Config{N: 100, B: 32})
+}
+
+// TestWriteDoublingCachePressure reproduces the paper's §4.3 observation in
+// miniature: on one processor, LU compiled for Cashmere (write doubling on)
+// is substantially slower than for TreadMarks because doubling pushes the
+// block working set past the 16 KB first-level cache.
+func TestWriteDoublingCachePressure(t *testing.T) {
+	c := Config{N: 128, B: 32} // 8 KB page-sized blocks, as in the paper
+	mk := func() *core.Program { return New(c) }
+	csm := apptest.RunVariant(t, mk, "csm_poll", 1, 1)
+	tmk := apptest.RunVariant(t, mk, "tmk_mc_poll", 1, 1)
+	slowdown := float64(csm.Time) / float64(tmk.Time)
+	if slowdown < 1.05 {
+		t.Errorf("csm/tmk single-processor ratio = %.3f, want noticeable doubling penalty", slowdown)
+	}
+	if csm.PerProc[0].CacheMisses <= tmk.PerProc[0].CacheMisses {
+		t.Errorf("cache misses: csm %d <= tmk %d, doubling should add misses",
+			csm.PerProc[0].CacheMisses, tmk.PerProc[0].CacheMisses)
+	}
+}

@@ -1,0 +1,70 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/variants"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"SOR", "LU", "Water", "TSP", "Gauss", "Ilink", "Em3d", "Barnes"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want paper order %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("FFT"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestEveryAppBuildsAndDescribes(t *testing.T) {
+	for _, name := range Names() {
+		e, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Size{SizeSmall, SizeDefault} {
+			if e.Problem(s) == "" {
+				t.Errorf("%s: empty problem description", name)
+			}
+		}
+		prog := e.New(SizeSmall)
+		if prog.Name != name {
+			t.Errorf("program name %q != registry name %q", prog.Name, name)
+		}
+		if prog.SharedBytes <= 0 || prog.Body == nil {
+			t.Errorf("%s: incomplete program", name)
+		}
+	}
+}
+
+// TestEveryAppRunsSequentially is the smoke test that every registered
+// application completes at small scale on the baseline.
+func TestEveryAppRunsSequentially(t *testing.T) {
+	for _, name := range Names() {
+		e, _ := Get(name)
+		cfg, err := variants.Config(variants.Sequential, 1, 1, variants.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(cfg, e.New(SizeSmall))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Time <= 0 {
+			t.Errorf("%s: zero execution time", name)
+		}
+		if len(res.Checks) == 0 {
+			t.Errorf("%s: reported no validation checks", name)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package sor implements the paper's SOR application: a Red-Black
+// Successive Over-Relaxation solver for partial differential equations. The
+// red and black arrays are divided into roughly equal bands of rows, one
+// band per processor; communication occurs across band boundaries, and
+// processors synchronize with barriers (§4.2).
+package sor
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem. The paper's dataset is a 3072x4096 grid; the
+// defaults are scaled so a full protocol sweep completes quickly while
+// keeping many pages per band.
+type Config struct {
+	Rows, Cols int // grid dimensions; Cols must be even
+	Iters      int // red+black update passes
+}
+
+// Default is the standard benchmark size: scaled down from the paper's
+// 3072x4096 while keeping rows wide enough that per-band computation
+// dominates boundary-page communication, as it does at full scale.
+func Default() Config { return Config{Rows: 384, Cols: 2048, Iters: 8} }
+
+// Small is a fast size for tests.
+func Small() Config { return Config{Rows: 64, Cols: 64, Iters: 4} }
+
+// FlopCost is the charged computation per element update (4 adds, 1 mult on
+// a 233 MHz 21064A).
+const FlopCost = 30 * sim.Nanosecond
+
+// New builds the SOR program.
+func New(c Config) *core.Program {
+	if c.Cols%2 != 0 || c.Rows < 3 || c.Cols < 4 || c.Iters < 1 {
+		panic(fmt.Sprintf("sor: bad config %+v", c))
+	}
+	w := c.Cols / 2 // each color stores half the columns per row
+	l := core.NewLayout()
+	red := l.F64Pages(c.Rows * w)
+	black := l.F64Pages(c.Rows * w)
+	at := func(a core.F64Array, i, k int) core.Addr { return a.Addr(i*w + k) }
+
+	return &core.Program{
+		Name:        "SOR",
+		SharedBytes: l.Size(),
+		Barriers:    2,
+		Init: func(iw *core.ImageWriter) {
+			// Fixed heat source along the top boundary row.
+			for k := 0; k < w; k++ {
+				red.Init(iw, k, 1.0)
+				black.Init(iw, k, 1.0)
+			}
+		},
+		Body: func(p *core.Proc) {
+			// Interior rows divided into bands.
+			lo, hi := apputil.Band(c.Rows-2, p.NumProcs(), p.Rank())
+			lo, hi = lo+1, hi+1
+			for iter := 0; iter < c.Iters; iter++ {
+				// Red phase: red[i][k] averages its four black neighbours.
+				for i := lo; i < hi; i++ {
+					par := i & 1
+					for k := 1; k < w-1; k++ {
+						p.PollPoint() // instrumentation at every backward branch (§3.2)
+						v := 0.25 * (p.ReadF64(at(black, i-1, k)) +
+							p.ReadF64(at(black, i+1, k)) +
+							p.ReadF64(at(black, i, k+par-1)) +
+							p.ReadF64(at(black, i, k+par)))
+						p.WriteF64(at(red, i, k), v)
+						p.Compute(FlopCost)
+					}
+				}
+				p.Barrier(0)
+				// Black phase: black[i][k] averages its four red neighbours.
+				for i := lo; i < hi; i++ {
+					par := i & 1
+					for k := 1; k < w-1; k++ {
+						p.PollPoint()
+						v := 0.25 * (p.ReadF64(at(red, i-1, k)) +
+							p.ReadF64(at(red, i+1, k)) +
+							p.ReadF64(at(red, i, k-par)) +
+							p.ReadF64(at(red, i, k+1-par)))
+						p.WriteF64(at(black, i, k), v)
+						p.Compute(FlopCost)
+					}
+				}
+				p.Barrier(1)
+			}
+			p.Finish()
+			if p.Rank() == 0 {
+				sum := 0.0
+				for i := 0; i < c.Rows; i++ {
+					for k := 0; k < w; k++ {
+						sum += p.ReadF64(at(red, i, k)) + p.ReadF64(at(black, i, k))
+					}
+				}
+				p.ReportCheck("checksum", sum)
+			}
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package sor
+
+import (
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	results := apptest.CrossCheck(t, mk, 2, 2, 0)
+	if results["sequential"].Checks["checksum"] == 0 {
+		t.Error("checksum is zero: heat never diffused")
+	}
+}
+
+func TestSpeedupOverSequential(t *testing.T) {
+	big := Config{Rows: 256, Cols: 1024, Iters: 4}
+	mk := func() *core.Program { return New(big) }
+	seq := apptest.RunVariant(t, mk, "sequential", 1, 1)
+	par := apptest.RunVariant(t, mk, "csm_poll", 4, 1)
+	if par.Time >= seq.Time {
+		t.Errorf("no speedup: seq %d, 4-proc %d", seq.Time, par.Time)
+	}
+	tmk := apptest.RunVariant(t, mk, "tmk_mc_poll", 4, 1)
+	if tmk.Time >= seq.Time {
+		t.Errorf("no TreadMarks speedup: seq %d, 4-proc %d", seq.Time, tmk.Time)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd Cols accepted")
+		}
+	}()
+	New(Config{Rows: 10, Cols: 7, Iters: 1})
+}
+
+func TestBoundaryStaysFixed(t *testing.T) {
+	// The heat source row is never written; its checksum contribution is
+	// Cols (1.0 per cell). With a tiny interior the total must exceed Cols
+	// after a few iterations (heat flows in) and stay below Rows*Cols.
+	res := apptest.RunVariant(t, func() *core.Program { return New(Small()) }, "sequential", 1, 1)
+	sum := res.Checks["checksum"]
+	if sum <= float64(Small().Cols) {
+		t.Errorf("checksum %v: no diffusion", sum)
+	}
+	if sum >= float64(Small().Rows*Small().Cols) {
+		t.Errorf("checksum %v exceeds physical bound", sum)
+	}
+}

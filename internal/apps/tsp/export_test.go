@@ -1,0 +1,9 @@
+package tsp
+
+import (
+	"math/rand"
+
+	"repro/internal/apps/apputil"
+)
+
+func apputilRng(seed int64) *rand.Rand { return apputil.Rng(seed) }

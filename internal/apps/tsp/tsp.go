@@ -1,0 +1,295 @@
+// Package tsp implements the paper's TSP application: a branch-and-bound
+// solution to the traveling salesman problem. Locks protect a shared
+// priority queue of unsolved partial tours and the current shortest path;
+// the algorithm is nondeterministic in the sense that finding a good tour
+// early prunes more of the search space (§4.2). Subtrees below a depth
+// threshold are solved recursively without touching the queue, as in the
+// original Rice implementation.
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Cities int
+	// RecurseDepth: partial tours within this many cities of completion are
+	// solved locally without queue operations.
+	RecurseDepth int
+	// PoolSize bounds the shared tour pool.
+	PoolSize int
+	Seed     int64
+}
+
+// Default is the standard benchmark size (the paper uses 17 cities; 12 keeps
+// queue contention realistic at simulation speed).
+func Default() Config { return Config{Cities: 14, RecurseDepth: 11, PoolSize: 65536, Seed: 42} }
+
+// Small is a fast size for tests.
+func Small() Config { return Config{Cities: 9, RecurseDepth: 5, PoolSize: 2048, Seed: 42} }
+
+// NodeCost is the charged computation per search-tree node visited.
+const NodeCost = 120 * sim.Nanosecond
+
+// Lock ids.
+const (
+	lockQueue = 0
+	lockBest  = 1
+)
+
+// siftUp restores the shared min-heap invariant after appending at index i.
+func siftUp(p *core.Proc, queue core.I64Array, bound core.F64Array, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		si, sp := queue.At(p, i), queue.At(p, parent)
+		if bound.At(p, int(si)) >= bound.At(p, int(sp)) {
+			return
+		}
+		queue.Set(p, i, sp)
+		queue.Set(p, parent, si)
+		i = parent
+	}
+}
+
+// siftDown restores the heap invariant from the root after a pop.
+func siftDown(p *core.Proc, queue core.I64Array, bound core.F64Array, n, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		bi := bound.At(p, int(queue.At(p, smallest)))
+		if l < n {
+			if bl := bound.At(p, int(queue.At(p, l))); bl < bi {
+				smallest, bi = l, bl
+			}
+		}
+		if r < n {
+			if br := bound.At(p, int(queue.At(p, r))); br < bi {
+				smallest = r
+			}
+		}
+		if smallest == i {
+			return
+		}
+		si, ss := queue.At(p, i), queue.At(p, smallest)
+		queue.Set(p, i, ss)
+		queue.Set(p, smallest, si)
+		i = smallest
+	}
+}
+
+// New builds the TSP program.
+func New(c Config) *core.Program {
+	if c.Cities < 4 || c.Cities > 20 || c.RecurseDepth < 1 || c.PoolSize < 16 {
+		panic(fmt.Sprintf("tsp: bad config %+v", c))
+	}
+	n := c.Cities
+	l := core.NewLayout()
+	// Distance matrix (read-only after init).
+	dist := l.F64Pages(n * n)
+	// Tour pool: each slot holds {cost, bound, visited mask, last city,
+	// depth}; free-list managed under the queue lock.
+	poolCost := l.F64Pages(c.PoolSize)
+	poolBound := l.F64Pages(c.PoolSize)
+	poolMask := l.I64Pages(c.PoolSize)
+	poolLast := l.I64Pages(c.PoolSize)
+	poolDepth := l.I64Pages(c.PoolSize)
+	// Queue: active slot indices + count + outstanding-work counter.
+	queue := l.I64Pages(c.PoolSize)
+	poolNext := l.I64Pages(c.PoolSize) // free-list chaining
+	qmeta := l.I64Pages(4)             // [0]=queue len, [1]=outstanding, [2]=high-water, [3]=free head
+	best := l.F64Pages(1)
+
+	return &core.Program{
+		Name:        "TSP",
+		SharedBytes: l.Size(),
+		Locks:       2,
+		Barriers:    1,
+		Init: func(w *core.ImageWriter) {
+			rng := apputil.Rng(c.Seed)
+			// Random symmetric distances on a unit square (Euclidean).
+			xs := make([]float64, n)
+			ys := make([]float64, n)
+			for i := range xs {
+				xs[i], ys[i] = rng.Float64(), rng.Float64()
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+					dist.Init(w, i*n+j, d)
+				}
+			}
+			// Seed the queue with the root tour: city 0 visited.
+			poolCost.Init(w, 0, 0)
+			poolBound.Init(w, 0, 0)
+			poolMask.Init(w, 0, 1)
+			poolLast.Init(w, 0, 0)
+			poolDepth.Init(w, 0, 1)
+			queue.Init(w, 0, 0)
+			qmeta.Init(w, 0, 1)  // one queued tour
+			qmeta.Init(w, 1, 1)  // one outstanding unit of work
+			qmeta.Init(w, 2, 1)  // pool high-water mark
+			qmeta.Init(w, 3, -1) // empty free list
+			// Seed the bound with a greedy nearest-neighbour tour so the
+			// branch-and-bound frontier stays small from the start.
+			greedy := 0.0
+			visited := make([]bool, n)
+			visited[0] = true
+			cur := 0
+			for step := 1; step < n; step++ {
+				bestJ, bestD := -1, math.Inf(1)
+				for j := 1; j < n; j++ {
+					if !visited[j] {
+						dd := math.Hypot(xs[cur]-xs[j], ys[cur]-ys[j])
+						if dd < bestD {
+							bestD, bestJ = dd, j
+						}
+					}
+				}
+				greedy += bestD
+				visited[bestJ] = true
+				cur = bestJ
+			}
+			greedy += math.Hypot(xs[cur]-xs[0], ys[cur]-ys[0])
+			best.Init(w, 0, greedy)
+		},
+		Body: func(p *core.Proc) {
+			d := func(i, j int) float64 { return dist.At(p, i*n+j) }
+			// Pool slots are recycled through a free list chained in
+			// poolNext; callers hold the queue lock.
+			allocSlot := func() int {
+				if head := qmeta.At(p, 3); head >= 0 {
+					qmeta.Set(p, 3, poolNext.At(p, int(head)))
+					return int(head)
+				}
+				hw := qmeta.At(p, 2)
+				if int(hw) >= c.PoolSize {
+					panic("tsp: tour pool exhausted; increase PoolSize")
+				}
+				qmeta.Set(p, 2, hw+1)
+				return int(hw)
+			}
+			freeSlot := func(slot int) {
+				poolNext.Set(p, slot, qmeta.At(p, 3))
+				qmeta.Set(p, 3, int64(slot))
+			}
+			// solve exhaustively finishes a partial tour locally.
+			var solve func(mask int64, last int, cost float64, depth int, bestLocal float64) float64
+			solve = func(mask int64, last int, cost float64, depth int, bestLocal float64) float64 {
+				p.Compute(NodeCost)
+				if depth == n {
+					total := cost + d(last, 0)
+					if total < bestLocal {
+						return total
+					}
+					return bestLocal
+				}
+				for next := 1; next < n; next++ {
+					if mask&(1<<uint(next)) != 0 {
+						continue
+					}
+					nc := cost + d(last, next)
+					if nc >= bestLocal {
+						continue // bound
+					}
+					bestLocal = solve(mask|1<<uint(next), next, nc, depth+1, bestLocal)
+				}
+				return bestLocal
+			}
+
+			for {
+				p.PollPoint()
+				// Pop the most promising tour.
+				p.Lock(lockQueue)
+				qlen := qmeta.At(p, 0)
+				if qlen == 0 {
+					outstanding := qmeta.At(p, 1)
+					p.Unlock(lockQueue)
+					if outstanding == 0 {
+						break // search exhausted
+					}
+					p.Compute(5 * sim.Microsecond)
+					continue
+				}
+				// Extract the minimum-bound entry (binary heap keyed on bound).
+				slot := int(queue.At(p, 0))
+				tail := queue.At(p, int(qlen)-1)
+				qmeta.Set(p, 0, qlen-1)
+				if qlen > 1 {
+					queue.Set(p, 0, tail)
+					siftDown(p, queue, poolBound, int(qlen)-1, 0)
+				}
+				p.Unlock(lockQueue)
+
+				mask := poolMask.At(p, slot)
+				last := int(poolLast.At(p, slot))
+				cost := poolCost.At(p, slot)
+				depth := int(poolDepth.At(p, slot))
+
+				cur := best.At(p, 0)
+				if cost >= cur {
+					// Pruned: retire the work unit and recycle its slot.
+					p.Lock(lockQueue)
+					freeSlot(slot)
+					qmeta.Set(p, 1, qmeta.At(p, 1)-1)
+					p.Unlock(lockQueue)
+					continue
+				}
+				if n-depth <= c.RecurseDepth {
+					// Solve the subtree locally.
+					found := solve(mask, last, cost, depth, cur)
+					if found < cur {
+						p.Lock(lockBest)
+						if found < best.At(p, 0) {
+							best.Set(p, 0, found)
+						}
+						p.Unlock(lockBest)
+					}
+					p.Lock(lockQueue)
+					freeSlot(slot)
+					qmeta.Set(p, 1, qmeta.At(p, 1)-1)
+					p.Unlock(lockQueue)
+					continue
+				}
+				// Expand one level and push the children.
+				for next := 1; next < n; next++ {
+					if mask&(1<<uint(next)) != 0 {
+						continue
+					}
+					p.Compute(NodeCost)
+					nc := cost + d(last, next)
+					if nc >= best.At(p, 0) {
+						continue
+					}
+					p.Lock(lockQueue)
+					child := allocSlot()
+					poolCost.Set(p, child, nc)
+					poolBound.Set(p, child, nc)
+					poolMask.Set(p, child, mask|1<<uint(next))
+					poolLast.Set(p, child, int64(next))
+					poolDepth.Set(p, child, int64(depth+1))
+					ql := qmeta.At(p, 0)
+					queue.Set(p, int(ql), int64(child))
+					siftUp(p, queue, poolBound, int(ql))
+					qmeta.Set(p, 0, ql+1)
+					qmeta.Set(p, 1, qmeta.At(p, 1)+1)
+					p.Unlock(lockQueue)
+				}
+				p.Lock(lockQueue)
+				freeSlot(slot)
+				qmeta.Set(p, 1, qmeta.At(p, 1)-1)
+				p.Unlock(lockQueue)
+			}
+			p.Barrier(0)
+			p.Finish()
+			if p.Rank() == 0 {
+				p.ReportCheck("tourlen", best.At(p, 0))
+			}
+		},
+	}
+}

@@ -1,0 +1,177 @@
+// Package water implements the paper's Water application (from SPLASH): a
+// molecular dynamics simulation. The shared array of molecules is divided
+// into equal contiguous chunks, one per processor; the bulk of communication
+// happens in the force-computation phase, where each processor accumulates
+// intermolecular forces locally and then acquires per-processor locks to
+// update the globally shared force vectors — a migratory sharing pattern
+// (§4.2).
+package water
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Mols  int // number of molecules
+	Steps int // simulation steps
+}
+
+// Default is the standard benchmark size.
+func Default() Config { return Config{Mols: 1024, Steps: 3} }
+
+// Small is a fast size for tests.
+func Small() Config { return Config{Mols: 96, Steps: 2} }
+
+// PairCost is the charged computation for one intermolecular interaction:
+// Water evaluates nine site-site distances and forces per molecule pair.
+const PairCost = 600 * sim.Nanosecond
+
+const dt = 0.002
+
+// New builds the Water program.
+func New(c Config) *core.Program {
+	if c.Mols < 2 || c.Steps < 1 {
+		panic(fmt.Sprintf("water: bad config %+v", c))
+	}
+	n := c.Mols
+	l := core.NewLayout()
+	pos := l.F64Pages(3 * n)
+	vel := l.F64Pages(3 * n)
+	force := l.F64Pages(3 * n)
+
+	return &core.Program{
+		Name:        "Water",
+		SharedBytes: l.Size(),
+		// One lock per processor slot guarding that chunk of the force
+		// array, plus one for the global energy.
+		Locks:    65,
+		Barriers: 4,
+		Init: func(w *core.ImageWriter) {
+			// Molecules are laid out along x in index order (as after the
+			// spatial sort real Water performs), so interactions within the
+			// cutoff involve mostly index-adjacent chunks.
+			rng := apputil.Rng(7)
+			for i := 0; i < n; i++ {
+				pos.Init(w, 3*i, (float64(i)+0.5)/float64(n))
+				pos.Init(w, 3*i+1, rng.Float64()*0.05)
+				pos.Init(w, 3*i+2, rng.Float64()*0.05)
+				for d := 0; d < 3; d++ {
+					vel.Init(w, 3*i+d, (rng.Float64()-0.5)*0.01)
+				}
+			}
+		},
+		Body: func(p *core.Proc) {
+			np := p.NumProcs()
+			me := p.Rank()
+			lo, hi := apputil.Band(n, np, me)
+			chunkOf := func(m int) int {
+				for q := 0; q < np; q++ {
+					ql, qh := apputil.Band(n, np, q)
+					if m >= ql && m < qh {
+						return q
+					}
+				}
+				return np - 1
+			}
+			local := make([]float64, 3*n) // private accumulation buffer
+			for step := 0; step < c.Steps; step++ {
+				// Phase 1: predict positions and clear our force section.
+				for m := lo; m < hi; m++ {
+					p.PollPoint()
+					for d := 0; d < 3; d++ {
+						pos.Set(p, 3*m+d, pos.At(p, 3*m+d)+dt*vel.At(p, 3*m+d))
+						force.Set(p, 3*m+d, 0)
+					}
+				}
+				p.Barrier(0)
+				// Phase 2: intermolecular forces. Processor me handles pairs
+				// (i, j) with i in its chunk, j > i.
+				for i := range local {
+					local[i] = 0
+				}
+				touched := make(map[int]bool)
+				for i := lo; i < hi; i++ {
+					xi := pos.At(p, 3*i)
+					yi := pos.At(p, 3*i+1)
+					zi := pos.At(p, 3*i+2)
+					for j := i + 1; j < n; j++ {
+						p.PollPoint()
+						dx := xi - pos.At(p, 3*j)
+						dy := yi - pos.At(p, 3*j+1)
+						dz := zi - pos.At(p, 3*j+2)
+						r2 := dx*dx + dy*dy + dz*dz + 0.001
+						p.Compute(PairCost)
+						if r2 > 0.0036 { // cutoff radius 0.06
+							continue
+						}
+						f := 1.0/(r2*r2) - 0.5/r2
+						local[3*i] += f * dx
+						local[3*i+1] += f * dy
+						local[3*i+2] += f * dz
+						local[3*j] -= f * dx
+						local[3*j+1] -= f * dy
+						local[3*j+2] -= f * dz
+						touched[i] = true
+						touched[j] = true
+					}
+				}
+				p.Barrier(1)
+				// Phase 3: merge local contributions into the shared force
+				// vectors under per-processor-chunk locks (migratory).
+				for q := 0; q < np; q++ {
+					ql, qh := apputil.Band(n, np, q)
+					any := false
+					for m := ql; m < qh && !any; m++ {
+						any = touched[m]
+					}
+					if !any {
+						continue
+					}
+					p.Lock(q)
+					for m := ql; m < qh; m++ {
+						if !touched[m] {
+							continue
+						}
+						for d := 0; d < 3; d++ {
+							if local[3*m+d] != 0 {
+								force.Set(p, 3*m+d, force.At(p, 3*m+d)+local[3*m+d])
+							}
+						}
+					}
+					p.Unlock(q)
+				}
+				p.Barrier(2)
+				// Phase 4: integrate velocities for our chunk.
+				for m := lo; m < hi; m++ {
+					p.PollPoint()
+					for d := 0; d < 3; d++ {
+						vel.Set(p, 3*m+d, vel.At(p, 3*m+d)+dt*force.At(p, 3*m+d))
+					}
+				}
+				p.Barrier(3)
+			}
+			_ = chunkOf
+			p.Finish()
+			if me == 0 {
+				// Kinetic-energy-style checksum; force merge order varies
+				// with lock timing, so validation uses a tolerance.
+				e := 0.0
+				for m := 0; m < n; m++ {
+					for d := 0; d < 3; d++ {
+						v := vel.At(p, 3*m+d)
+						e += v * v
+						x := pos.At(p, 3*m+d)
+						e += math.Abs(x)
+					}
+				}
+				p.ReportCheck("energy", e)
+			}
+		},
+	}
+}

@@ -1,0 +1,36 @@
+package water
+
+import (
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+func TestCrossProtocolAgreement(t *testing.T) {
+	mk := func() *core.Program { return New(Small()) }
+	results := apptest.CrossCheck(t, mk, 2, 2, 1e-6)
+	if results["sequential"].Checks["energy"] == 0 {
+		t.Error("zero energy: simulation inert")
+	}
+	// Water's migratory merge phase must actually use locks.
+	if results["csm_poll"].Total.LockAcquires == 0 {
+		t.Error("no lock acquires in force merge")
+	}
+}
+
+func TestForcesNonTrivial(t *testing.T) {
+	res := apptest.RunVariant(t, func() *core.Program { return New(Small()) }, "sequential", 1, 1)
+	if res.Total.Barriers == 0 {
+		t.Error("no barriers")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	New(Config{Mols: 1, Steps: 0})
+}

@@ -1,0 +1,93 @@
+// Package bench regenerates the paper's evaluation: Table 1 (basic operation
+// costs), Table 2 (data sets and sequential times), Table 3 (detailed
+// statistics), Figure 5 (speedups), Figure 6 (execution-time breakdown), and
+// ablations of the design choices DESIGN.md calls out. Output is text tables
+// in the paper's layout; absolute values come from the simulation's cost
+// model, so shapes — who wins, by what factor, where crossovers fall — are
+// the reproduction target, not exact numbers.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/variants"
+)
+
+// Options configure a harness run.
+type Options struct {
+	// Size selects the dataset scale.
+	Size apps.Size
+	// Procs lists processor counts for the speedup sweep (defaults to the
+	// paper's 1..32 ladder).
+	Procs []int
+	// Apps restricts the applications (defaults to all eight).
+	Apps []string
+	// Variants restricts the protocol variants (defaults to all six).
+	Variants []string
+	// VariantOpts adjusts the model for every run.
+	VariantOpts variants.Options
+}
+
+func (o Options) defaults() Options {
+	if o.Size == "" {
+		o.Size = apps.SizeDefault
+	}
+	if len(o.Procs) == 0 {
+		for _, l := range variants.PaperLayouts {
+			o.Procs = append(o.Procs, l.Procs)
+		}
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = apps.Names()
+	}
+	if len(o.Variants) == 0 {
+		o.Variants = variants.Names
+	}
+	return o
+}
+
+// runApp executes one application under one variant and processor count.
+func runApp(name, variant string, procs int, size apps.Size, vo variants.Options) (*core.Result, error) {
+	entry, err := apps.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	var nodes, ppn int
+	if variant == variants.Sequential {
+		nodes, ppn = 1, 1
+	} else {
+		l, err := variants.LayoutFor(procs)
+		if err != nil {
+			return nil, err
+		}
+		if !variants.Feasible(variant, l) {
+			return nil, errInfeasible
+		}
+		nodes, ppn = l.Nodes, l.PerNode
+	}
+	cfg, err := variants.Config(variant, nodes, ppn, vo)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(cfg, entry.New(size))
+}
+
+var errInfeasible = fmt.Errorf("bench: variant infeasible at this layout")
+
+// us renders virtual nanoseconds as microseconds.
+func us(t sim.Time) float64 { return float64(t) / 1000 }
+
+// seconds renders virtual nanoseconds as seconds.
+func seconds(t sim.Time) float64 { return float64(t) / 1e9 }
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/variants"
+)
+
+func TestCostsPrints(t *testing.T) {
+	var buf bytes.Buffer
+	Costs(&buf)
+	for _, want := range []string{"5.2 us", "62 us", "30 MB/s", "362 us"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("costs output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{Size: apps.SizeSmall, Apps: []string{"SOR", "Water"}}
+	if err := Table2(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SOR", "Water", "Problem Size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5SmallSubset(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{
+		Size:     apps.SizeSmall,
+		Apps:     []string{"SOR"},
+		Procs:    []int{1, 4},
+		Variants: []string{"csm_poll", "tmk_mc_poll"},
+	}
+	if err := Fig5(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SOR speedups") {
+		t.Errorf("fig5 output:\n%s", buf.String())
+	}
+}
+
+func TestFig5InfeasibleMarked(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{
+		Size:     apps.SizeSmall,
+		Apps:     []string{"Water"},
+		Procs:    []int{32},
+		Variants: []string{"csm_pp"},
+	}
+	if err := Fig5(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("csm_pp at 32 not marked infeasible")
+	}
+}
+
+func TestTable3AndFig6Small(t *testing.T) {
+	opts := Options{Size: apps.SizeSmall, Apps: []string{"Water"}}
+	var buf bytes.Buffer
+	if err := Table3(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Page transfers") {
+		t.Errorf("table 3 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Fig6(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Water", "CSM", "TMK", "Comm&Wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3ProcsRule(t *testing.T) {
+	if table3Procs("Barnes") != 16 || table3Procs("SOR") != 32 {
+		t.Error("Table 3 processor rule wrong")
+	}
+}
+
+func TestMicrobenchmarksRun(t *testing.T) {
+	if v, err := measureLock("csm_poll", variants.Options{}); err != nil || v <= 0 {
+		t.Errorf("lock microbench: %v %v", v, err)
+	}
+	if v, err := measureBarrier("tmk_mc_poll", 2, variants.Options{}); err != nil || v <= 0 {
+		t.Errorf("barrier microbench: %v %v", v, err)
+	}
+	if v, err := measurePageTransfer("csm_poll", variants.Options{}); err != nil || v <= 0 {
+		t.Errorf("page microbench: %v %v", v, err)
+	}
+}
+
+// TestTable1Shape checks the paper's qualitative Table 1 relationships.
+func TestTable1Shape(t *testing.T) {
+	csmLock, err := measureLock("csm_poll", variants.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkIntLock, err := measureLock("tmk_mc_int", variants.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkPollLock, err := measureLock("tmk_mc_poll", variants.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cashmere locks are MC-word operations (~tens of us); interrupt-based
+	// TreadMarks locks pay ~1 ms signal latency; polling TMK locks are
+	// message round trips (tens of us).
+	if csmLock > 60 {
+		t.Errorf("csm lock acquire %v us, want tens of us", csmLock)
+	}
+	if tmkIntLock < 900 {
+		t.Errorf("tmk_mc_int lock acquire %v us, want ~1 ms", tmkIntLock)
+	}
+	if tmkPollLock > 200 {
+		t.Errorf("tmk_mc_poll lock acquire %v us, want well below interrupts", tmkPollLock)
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/memchan"
+	"repro/internal/msg"
+)
+
+// Costs prints the §4.1 basic operation costs the model is calibrated to,
+// next to the paper's measured values, so calibration drift is visible.
+func Costs(w io.Writer) {
+	c := core.DefaultCosts()
+	mc := memchan.DefaultParams()
+	mp := msg.DefaultParams(msg.ModePoll)
+	header(w, "Basic operation costs (model vs paper §4.1)")
+	rows := []struct {
+		name  string
+		model string
+		paper string
+	}{
+		{"Memory protection change", fmt.Sprintf("%.0f us", us(c.ProtChange)), "62 us"},
+		{"Page fault delivery", fmt.Sprintf("%.0f us", us(c.PageFault)), "9 us fault + 69 us signal"},
+		{"Local signal delivery", fmt.Sprintf("%.0f us", us(mp.LocalSignalCost)), "69 us"},
+		{"Remote signal (sender / end-to-end)", fmt.Sprintf("%.0f us / %.0f us", us(mc.InterruptSendCost), us(mc.InterruptLatency)), "5 us / ~1 ms"},
+		{"MC write latency", fmt.Sprintf("%.1f us", us(mc.Latency)), "5.2 us"},
+		{"MC per-link bandwidth", fmt.Sprintf("%.0f MB/s", float64(mc.LinkBandwidth)/1e6), "~30 MB/s"},
+		{"MC aggregate bandwidth", fmt.Sprintf("%.0f MB/s", float64(mc.AggregateBandwidth)/1e6), "~32 MB/s"},
+		{"Directory mod (locked / unlocked)", fmt.Sprintf("%.0f us / %.0f us", us(c.DirectoryModLocked), us(c.DirectoryMod)), "16 us / 5 us"},
+		{"Twin creation (8 KB page)", fmt.Sprintf("%.0f us", us(c.TwinCopy)), "362 us"},
+		{"Diff creation", fmt.Sprintf("%.0f-%.0f us", us(c.DiffCreateMin), us(c.DiffCreateMax)), "29-53 us"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-38s %-24s (paper: %s)\n", r.name, r.model, r.paper)
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/variants"
+)
+
+// Fig5 reproduces the paper's Figure 5: speedups of every application under
+// every protocol variant across the processor ladder, relative to the
+// sequential (unlinked) execution time from Table 2. One text block per
+// application; csm_pp is omitted at 32 processors (not applicable, §4.3).
+func Fig5(w io.Writer, opts Options) error {
+	opts = opts.defaults()
+	for _, app := range opts.Apps {
+		seq, err := runApp(app, variants.Sequential, 1, opts.Size, opts.VariantOpts)
+		if err != nil {
+			return fmt.Errorf("%s sequential: %w", app, err)
+		}
+		header(w, fmt.Sprintf("Figure 5: %s speedups (sequential %.3fs)", app, seconds(seq.Time)))
+		fmt.Fprintf(w, "%-12s", "procs")
+		for _, v := range opts.Variants {
+			fmt.Fprintf(w, "%13s", v)
+		}
+		fmt.Fprintln(w)
+		for _, procs := range opts.Procs {
+			fmt.Fprintf(w, "%-12d", procs)
+			for _, v := range opts.Variants {
+				res, err := runApp(app, v, procs, opts.Size, opts.VariantOpts)
+				if err == errInfeasible {
+					fmt.Fprintf(w, "%13s", "-")
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("%s on %s at %d: %w", app, v, procs, err)
+				}
+				fmt.Fprintf(w, "%13.2f", float64(seq.Time)/float64(res.Time))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/variants"
+	"repro/internal/vm"
+)
+
+// Table1 reproduces the paper's Table 1: the minimum cost of page transfers
+// and user-level synchronization operations for the six protocol
+// implementations. Lock acquire and page transfer are measured between two
+// processors on separate nodes; barrier costs are measured at 2 and at 16
+// processors (the parenthesized figures in the paper).
+func Table1(w io.Writer, vo variants.Options) error {
+	type row struct {
+		lockAcq  float64
+		barrier2 float64
+		barrier  float64
+		pageXfer float64
+	}
+	rows := map[string]row{}
+	for _, v := range variants.Names {
+		la, err := measureLock(v, vo)
+		if err != nil {
+			return fmt.Errorf("lock acquire on %s: %w", v, err)
+		}
+		b2, err := measureBarrier(v, 2, vo)
+		if err != nil {
+			return fmt.Errorf("barrier(2) on %s: %w", v, err)
+		}
+		b16, err := measureBarrier(v, 16, vo)
+		if err != nil {
+			return fmt.Errorf("barrier(16) on %s: %w", v, err)
+		}
+		px, err := measurePageTransfer(v, vo)
+		if err != nil {
+			return fmt.Errorf("page transfer on %s: %w", v, err)
+		}
+		rows[v] = row{lockAcq: la, barrier2: b2, barrier: b16, pageXfer: px}
+	}
+	header(w, "Table 1: Cost of basic operations (microseconds; barrier shows 2-proc with 16-proc in parens)")
+	fmt.Fprintf(w, "%-14s", "Operation")
+	for _, v := range variants.Names {
+		fmt.Fprintf(w, "%16s", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s", "Lock Acquire")
+	for _, v := range variants.Names {
+		fmt.Fprintf(w, "%16.0f", rows[v].lockAcq)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s", "Barrier")
+	for _, v := range variants.Names {
+		fmt.Fprintf(w, "%10.0f (%3.0f)", rows[v].barrier2, rows[v].barrier)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s", "Page Transfer")
+	for _, v := range variants.Names {
+		fmt.Fprintf(w, "%16.0f", rows[v].pageXfer)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// measureLock times an uncontended lock acquire by a processor that is not
+// the lock's last owner (the remote-acquire path).
+func measureLock(variant string, vo variants.Options) (float64, error) {
+	const iters = 20
+	l := core.NewLayout()
+	l.Alloc(vm.PageSize, vm.PageSize) // nonempty shared segment
+	prog := &core.Program{
+		Name:        "bench-lock",
+		SharedBytes: l.Size(),
+		Locks:       1,
+		Barriers:    2,
+		Body: func(p *core.Proc) {
+			var total sim.Time
+			for i := 0; i < iters; i++ {
+				// Alternate ownership: rank (i%2) acquires, so each acquire
+				// is remote with respect to the previous owner.
+				if p.Rank() == i%2 {
+					start := p.Sim().Now()
+					p.Lock(0)
+					total += p.Sim().Now() - start
+					p.Unlock(0)
+				}
+				p.Barrier(0)
+			}
+			p.Finish()
+			if p.Rank() == 0 {
+				p.ReportCheck("us", us(total*2/iters))
+			}
+		},
+	}
+	return runMicro(variant, 2, 1, prog, vo)
+}
+
+// measureBarrier times a barrier crossed by all processors.
+func measureBarrier(variant string, procs int, vo variants.Options) (float64, error) {
+	const iters = 20
+	layout, err := variants.LayoutFor(procs)
+	if err != nil {
+		return 0, err
+	}
+	if !variants.Feasible(variant, layout) {
+		layout, _ = variants.LayoutFor(procs) // csm_pp is feasible at 2 and 16
+	}
+	l := core.NewLayout()
+	l.Alloc(vm.PageSize, vm.PageSize)
+	prog := &core.Program{
+		Name:        "bench-barrier",
+		SharedBytes: l.Size(),
+		Barriers:    1,
+		Body: func(p *core.Proc) {
+			p.Barrier(0) // warm up
+			start := p.Sim().Now()
+			for i := 0; i < iters; i++ {
+				p.Barrier(0)
+			}
+			total := p.Sim().Now() - start
+			p.Finish()
+			if p.Rank() == 0 {
+				p.ReportCheck("us", us(total/iters))
+			}
+		},
+	}
+	return runMicro(variant, layout.Nodes, layout.PerNode, prog, vo)
+}
+
+// measurePageTransfer times the fault servicing a first remote read of a
+// page dirtied by a processor on another node.
+func measurePageTransfer(variant string, vo variants.Options) (float64, error) {
+	const pages = 16
+	l := core.NewLayout()
+	arrs := make([]core.F64Array, pages)
+	for i := range arrs {
+		arrs[i] = l.F64Pages(vm.PageSize / 8)
+	}
+	prog := &core.Program{
+		Name:        "bench-page",
+		SharedBytes: l.Size(),
+		Barriers:    2,
+		Body: func(p *core.Proc) {
+			if p.Rank() == 0 {
+				for i := range arrs {
+					for j := 0; j < arrs[i].N; j += 64 {
+						arrs[i].Set(p, j, float64(i+j))
+					}
+				}
+			}
+			p.Barrier(0)
+			var total sim.Time
+			if p.Rank() == 1 {
+				for i := range arrs {
+					start := p.Sim().Now()
+					_ = arrs[i].At(p, 0) // faults and transfers the page
+					total += p.Sim().Now() - start
+				}
+				p.ReportCheck("us", us(total/pages))
+			}
+			p.Barrier(1)
+			p.Finish()
+		},
+	}
+	return runMicro(variant, 2, 1, prog, vo)
+}
+
+func runMicro(variant string, nodes, ppn int, prog *core.Program, vo variants.Options) (float64, error) {
+	cfg, err := variants.Config(variant, nodes, ppn, vo)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Run(cfg, prog)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := res.Checks["us"]
+	if !ok {
+		return 0, fmt.Errorf("bench: %s reported no measurement", prog.Name)
+	}
+	return v, nil
+}

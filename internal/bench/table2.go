@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/variants"
+)
+
+// Table2 reproduces the paper's Table 2: data set sizes and sequential
+// execution time of each application, measured without linking to either
+// protocol (the NullProtocol baseline).
+func Table2(w io.Writer, opts Options) error {
+	opts = opts.defaults()
+	header(w, "Table 2: Data set sizes and sequential execution time")
+	fmt.Fprintf(w, "%-8s  %-34s %14s %12s\n", "Program", "Problem Size", "Shared (MB)", "Time (s)")
+	for _, name := range opts.Apps {
+		entry, err := apps.Get(name)
+		if err != nil {
+			return err
+		}
+		res, err := runApp(name, variants.Sequential, 1, opts.Size, opts.VariantOpts)
+		if err != nil {
+			return fmt.Errorf("%s sequential: %w", name, err)
+		}
+		prog := entry.New(opts.Size)
+		fmt.Fprintf(w, "%-8s  %-34s %14.2f %12.3f\n",
+			name, entry.Problem(opts.Size),
+			float64(prog.SharedBytes)/(1<<20), seconds(res.Time))
+	}
+	return nil
+}

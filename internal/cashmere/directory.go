@@ -1,0 +1,143 @@
+// Package cashmere implements the Cashmere coherence protocol of the paper's
+// §2.1 and §3.3: page-granularity, directory-based software DSM that exploits
+// Memory Channel remote writes for fine-grain communication.
+//
+// Key mechanisms, all implemented here:
+//
+//   - A distributed page directory, replicated per node and updated by MC
+//     broadcast, tracking the sharing set, home node (assigned by first
+//     touch after initialization), and exclusive mode.
+//   - Write-through to a unique home-node copy of each page via write
+//     doubling: every shared store also updates the home copy, consuming MC
+//     write-buffer and link bandwidth; releases fence on the drain.
+//   - Write notice and no-longer-exclusive (NLE) lists, globally accessible
+//     and protected by cluster-wide MC locks.
+//   - Page copies on demand: the first-generation MC has no remote reads, so
+//     a fault sends a request to the home node, whose processor (a dedicated
+//     protocol processor, an interrupted processor, or a polling processor,
+//     depending on the variant) writes the page back through the MC.
+package cashmere
+
+import "fmt"
+
+// Directory word layout (paper §2.1): each directory entry is eight 4-byte
+// words, one per SMP node. Each word holds presence bits for the node's four
+// processors, the 5-bit home node id, a bit saying whether the home was set
+// by first touch, and per-processor exclusive read/write bits.
+const (
+	presenceShift = 0  // bits 0-3: presence, one per CPU in the node
+	homeShift     = 4  // bits 4-8: home node id
+	homeValidBit  = 9  // bit 9: home assigned by first-touch
+	exclShift     = 10 // bits 10-13: exclusive r/w, one per CPU
+)
+
+// PackWord encodes one node's directory word.
+func PackWord(presence uint8, home int, homeValid bool, excl uint8) uint32 {
+	if presence > 0xF || excl > 0xF {
+		panic(fmt.Sprintf("cashmere: presence %x / excl %x exceed 4 bits", presence, excl))
+	}
+	if home < 0 || home > 31 {
+		panic(fmt.Sprintf("cashmere: home %d exceeds 5 bits", home))
+	}
+	w := uint32(presence) << presenceShift
+	w |= uint32(home) << homeShift
+	if homeValid {
+		w |= 1 << homeValidBit
+	}
+	w |= uint32(excl) << exclShift
+	return w
+}
+
+// UnpackWord decodes one node's directory word.
+func UnpackWord(w uint32) (presence uint8, home int, homeValid bool, excl uint8) {
+	presence = uint8(w>>presenceShift) & 0xF
+	home = int(w>>homeShift) & 0x1F
+	homeValid = w&(1<<homeValidBit) != 0
+	excl = uint8(w>>exclShift) & 0xF
+	return
+}
+
+// Words renders a directory entry in the paper's wire format: one packed
+// word per node, with presence and exclusive bits expanded from the rank
+// bitmask. The home node and first-touch bit are replicated in every word,
+// as the paper notes ("The home node indications in separate words are
+// redundant").
+func (e *entry) Words(nodes, procsPerNode, home int, homeValid bool) []uint32 {
+	out := make([]uint32, nodes)
+	h := home
+	if h < 0 {
+		h = 0
+	}
+	for n := 0; n < nodes; n++ {
+		var presence, excl uint8
+		for cpu := 0; cpu < procsPerNode && cpu < 4; cpu++ {
+			rank := n*procsPerNode + cpu
+			if e.sharers&(1<<uint(rank)) != 0 {
+				presence |= 1 << uint(cpu)
+			}
+			if e.excl == int32(rank) {
+				excl |= 1 << uint(cpu)
+			}
+		}
+		out[n] = PackWord(presence, h, homeValid, excl)
+	}
+	return out
+}
+
+// entry is the simulator's functional form of one page's directory entry.
+// The packed-word form above is the wire format the paper describes; the
+// simulator keeps the decoded form and charges the paper's directory
+// modification costs (5 µs unlocked, 16 µs when the entry lock is needed)
+// plus broadcast traffic on every update.
+type entry struct {
+	// sharers is a bitmask over compute ranks.
+	sharers uint64
+	// excl is the rank holding exclusive read/write mode, or -1.
+	excl int32
+	// neverExcl marks pages that must never re-enter exclusive mode (set
+	// when processing NLE entries, §2.1).
+	neverExcl bool
+	// homeFrame is the unique main-memory copy at the home node, the target
+	// of write-through. Nil until the home is assigned.
+	homeFrame []byte
+}
+
+// noticeList is a globally accessible list of page descriptors with a bitmap
+// to suppress duplicates, protected by a cluster-wide lock (the write notice
+// and NLE lists of §2.1).
+type noticeList struct {
+	lockID int
+	pages  []int32
+	bitmap []uint64
+}
+
+func newNoticeList(lockID, numPages int) *noticeList {
+	return &noticeList{lockID: lockID, bitmap: make([]uint64, (numPages+63)/64)}
+}
+
+// add appends page if not already present; reports whether it was added.
+// Callers must hold the list's cluster lock.
+func (nl *noticeList) add(page int) bool {
+	w, b := page/64, uint(page%64)
+	if nl.bitmap[w]&(1<<b) != 0 {
+		return false
+	}
+	nl.bitmap[w] |= 1 << b
+	nl.pages = append(nl.pages, int32(page))
+	return true
+}
+
+// has reports whether page is present.
+func (nl *noticeList) has(page int) bool {
+	return nl.bitmap[page/64]&(1<<uint(page%64)) != 0
+}
+
+// drain returns the pages and clears the list. Callers must hold the lock.
+func (nl *noticeList) drain() []int32 {
+	out := nl.pages
+	nl.pages = nil
+	for _, pg := range out {
+		nl.bitmap[pg/64] &^= 1 << uint(pg%64)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package cashmere
+
+import (
+	"repro/internal/core"
+	"repro/internal/memchan"
+	"repro/internal/sim"
+)
+
+// lockSpace implements the paper's §3.3.2 cluster-wide locks: each lock is
+// an array of per-node words in Memory Channel space plus a test-and-set
+// flag on each node. To acquire, a processor first wins the node flag with
+// ll/sc, then sets its node's array entry with loop-back enabled, waits for
+// the write to appear via loop-back, and reads the whole array: if its entry
+// is the only one set it holds the lock; otherwise it clears the entry,
+// backs off, and retries. Application and protocol locks share this
+// implementation, as in the paper.
+type lockSpace struct {
+	words *memchan.WordArray // [lock*nodes + node]
+	flags [][]bool           // [lock][node]: node-local test-and-set flag
+	nodes int
+}
+
+func newLockSpace(rt *core.Runtime, name string, numLocks int) *lockSpace {
+	nodes := rt.Engine().Config().Nodes
+	ls := &lockSpace{
+		words: rt.Net().NewWordArray(name, numLocks*nodes, memchan.TrafficSync),
+		flags: make([][]bool, numLocks),
+		nodes: nodes,
+	}
+	for i := range ls.flags {
+		ls.flags[i] = make([]bool, nodes)
+	}
+	return ls
+}
+
+// acquire takes cluster lock id on behalf of p.
+func (ls *lockSpace) acquire(p *core.Proc, id int) {
+	node := p.Node()
+	// Step 1: win the per-node flag with ll/sc (intra-node).
+	p.ChargeProtocol(p.Costs().LLSC)
+	p.SpinWait("node lock flag", func() bool {
+		if ls.flags[id][node] {
+			return false
+		}
+		ls.flags[id][node] = true
+		return true
+	})
+	base := id * ls.nodes
+	for attempt := 1; ; attempt++ {
+		// Step 2: set our node's entry and wait for it via loop-back.
+		ls.words.WriteLoopback(p.Sim(), base+node, 1)
+		p.SpinWait("lock loopback", func() bool {
+			return ls.words.Read(p.Sim(), base+node) == 1
+		})
+		// Step 3: read the whole array.
+		sole := true
+		lowest := node
+		for n := 0; n < ls.nodes; n++ {
+			p.Charge(core.CatProtocol, p.Costs().MemAccess)
+			if n != node && ls.words.Read(p.Sim(), base+n) != 0 {
+				sole = false
+				if n < lowest {
+					lowest = n
+				}
+			}
+		}
+		if sole {
+			return
+		}
+		if lowest == node {
+			// Deterministic tie resolution: the lowest contending node
+			// keeps its entry; higher nodes clear and back off, and the
+			// current holder's entry clears at its release. Spin until
+			// sole — but yield if a still-lower node arrives meanwhile.
+			won := false
+			p.SpinWait("lock tournament", func() bool {
+				anySet := false
+				for n := 0; n < ls.nodes; n++ {
+					if n == node || ls.words.Read(p.Sim(), base+n) == 0 {
+						continue
+					}
+					if n < node {
+						return true // lower contender appeared: drop out
+					}
+					anySet = true
+				}
+				if !anySet {
+					won = true
+					return true
+				}
+				return false
+			})
+			if won {
+				return
+			}
+		}
+		// A lower node is contending (or holding): clear our entry, back
+		// off briefly, and retry.
+		ls.words.WriteLoopback(p.Sim(), base+node, 0)
+		backoff := sim.Time((attempt*7+node*13)%16+1) * 3 * sim.Microsecond
+		p.Sim().Sleep(backoff)
+		p.EP().PollVisible()
+	}
+}
+
+// release drops cluster lock id.
+func (ls *lockSpace) release(p *core.Proc, id int) {
+	node := p.Node()
+	base := id * ls.nodes
+	ls.words.WriteLoopback(p.Sim(), base+node, 0)
+	ls.flags[id][node] = false
+}

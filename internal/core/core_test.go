@@ -1,0 +1,408 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/memchan"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func seqConfig() Config {
+	return Config{
+		Nodes:        1,
+		ProcsPerNode: 1,
+		MC:           memchan.DefaultParams(),
+		Msg:          msg.DefaultParams(msg.ModePoll),
+		Costs:        DefaultCosts(),
+		NewProtocol:  NewNullProtocol,
+		Variant:      "sequential",
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := DefaultCosts()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default costs invalid: %v", err)
+	}
+	bad := c
+	bad.PageFault = 0
+	if bad.Validate() == nil {
+		t.Error("zero PageFault accepted")
+	}
+	bad = c
+	bad.DiffCreateMax = c.DiffCreateMin - 1
+	if bad.Validate() == nil {
+		t.Error("inverted diff range accepted")
+	}
+	if got := c.DiffCreate(0, vm.PageSize); got != c.DiffCreateMin {
+		t.Errorf("DiffCreate(0) = %d, want min %d", got, c.DiffCreateMin)
+	}
+	if got := c.DiffCreate(vm.PageSize, vm.PageSize); got != c.DiffCreateMax {
+		t.Errorf("DiffCreate(full) = %d, want max %d", got, c.DiffCreateMax)
+	}
+	if got := c.DiffCreate(2*vm.PageSize, vm.PageSize); got != c.DiffCreateMax {
+		t.Errorf("DiffCreate clamping failed: %d", got)
+	}
+	if got := c.DiffCreate(-4, vm.PageSize); got != c.DiffCreateMin {
+		t.Errorf("DiffCreate negative clamping failed: %d", got)
+	}
+	if c.Copy(1000) != 1000*c.CopyPerByte {
+		t.Error("Copy cost wrong")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for cat, want := range map[Category]string{
+		CatUser: "User", CatProtocol: "Protocol", CatPolling: "Polling",
+		CatDoubling: "Write doubling", NumCategories: "unknown",
+	} {
+		if got := cat.String(); got != want {
+			t.Errorf("Category(%d) = %q, want %q", cat, got, want)
+		}
+	}
+}
+
+func TestLayoutAllocation(t *testing.T) {
+	l := NewLayout()
+	a := l.F64(10)
+	if a.Base != 0 || a.N != 10 {
+		t.Errorf("first array at %d len %d", a.Base, a.N)
+	}
+	b := l.I64(3)
+	if b.Base != 80 {
+		t.Errorf("second array at %d, want 80", b.Base)
+	}
+	c := l.F64Pages(2)
+	if c.Base != vm.PageSize {
+		t.Errorf("page-aligned array at %d, want %d", c.Base, vm.PageSize)
+	}
+	if l.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2", l.Pages())
+	}
+	if got := a.Addr(3); got != 24 {
+		t.Errorf("Addr(3) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Addr did not panic")
+		}
+	}()
+	a.Addr(10)
+}
+
+func TestLayoutBadAlign(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad align did not panic")
+		}
+	}()
+	NewLayout().Alloc(8, 3)
+}
+
+func TestSequentialRoundTrip(t *testing.T) {
+	l := NewLayout()
+	arr := l.F64Pages(1000)
+	cnt := l.I64(4)
+	prog := &Program{
+		Name:        "roundtrip",
+		SharedBytes: l.Size(),
+		Init: func(w *ImageWriter) {
+			for i := 0; i < arr.N; i++ {
+				arr.Init(w, i, float64(i)*1.5)
+			}
+			cnt.Init(w, 0, 7)
+			if w.ReadI64(cnt.Addr(0)) != 7 {
+				t.Error("image read-back failed")
+			}
+			if w.ReadF64(arr.Addr(2)) != 3.0 {
+				t.Error("image f64 read-back failed")
+			}
+		},
+		Body: func(p *Proc) {
+			sum := 0.0
+			for i := 0; i < arr.N; i++ {
+				sum += arr.At(p, i)
+			}
+			want := 1.5 * float64(arr.N*(arr.N-1)) / 2
+			if sum != want {
+				t.Errorf("sum = %v, want %v", sum, want)
+			}
+			arr.Set(p, 0, 42)
+			if arr.At(p, 0) != 42 {
+				t.Error("write lost")
+			}
+			cnt.Set(p, 1, cnt.At(p, 0)+1)
+			if cnt.At(p, 1) != 8 {
+				t.Error("i64 write lost")
+			}
+			p.Compute(100 * sim.Microsecond)
+			p.PollPoint()
+			p.Lock(0)
+			p.Unlock(0)
+			p.Barrier(0)
+			p.Finish()
+			p.ReportCheck("sum", sum)
+		},
+		Locks:    1,
+		Barriers: 1,
+	}
+	res, err := Run(seqConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs != 1 {
+		t.Errorf("Procs = %d", res.Procs)
+	}
+	if res.Time <= 0 {
+		t.Errorf("Time = %d", res.Time)
+	}
+	st := res.PerProc[0]
+	if st.ReadFaults == 0 {
+		t.Error("no read faults recorded")
+	}
+	if st.Cat[CatUser] <= 100*sim.Microsecond {
+		t.Errorf("user time %d too small", st.Cat[CatUser])
+	}
+	if st.LockAcquires != 1 || st.Barriers != 1 {
+		t.Errorf("sync counters: %d locks, %d barriers", st.LockAcquires, st.Barriers)
+	}
+	if res.Checks["sum"] == 0 {
+		t.Error("check not reported")
+	}
+	if res.Variant != "sequential" || res.Program != "roundtrip" {
+		t.Errorf("labels: %q %q", res.Variant, res.Program)
+	}
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	l := NewLayout()
+	arr := l.F64Pages(500)
+	mk := func() *Program {
+		return &Program{
+			Name:        "det",
+			SharedBytes: l.Size(),
+			Body: func(p *Proc) {
+				for i := 0; i < arr.N; i++ {
+					arr.Set(p, i, float64(i))
+					p.Compute(50 * sim.Nanosecond)
+				}
+				p.Finish()
+			},
+		}
+	}
+	r1, err := Run(seqConfig(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(seqConfig(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time {
+		t.Errorf("nondeterministic: %d vs %d", r1.Time, r2.Time)
+	}
+}
+
+func TestCacheModelCharges(t *testing.T) {
+	l := NewLayout()
+	arr := l.F64Pages(8192) // 64 KB: four 16 KB caches' worth
+	run := func(withCache bool) *Result {
+		cfg := seqConfig()
+		if withCache {
+			c := cache.Alpha21064A
+			cfg.Cache = &c
+		}
+		prog := &Program{
+			Name:        "cache",
+			SharedBytes: l.Size(),
+			Body: func(p *Proc) {
+				for pass := 0; pass < 4; pass++ {
+					for i := 0; i < arr.N; i++ {
+						arr.Set(p, i, 1)
+					}
+				}
+				p.Finish()
+			},
+		}
+		res, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with, without := run(true), run(false)
+	if with.Time <= without.Time {
+		t.Errorf("cache-model run %d not slower than no-cache %d", with.Time, without.Time)
+	}
+	if with.PerProc[0].CacheMisses == 0 {
+		t.Error("no cache misses recorded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := seqConfig()
+	cfg.Nodes = 0
+	if _, err := Run(cfg, &Program{Body: func(p *Proc) {}}); err == nil {
+		t.Error("bad shape accepted")
+	}
+	cfg = seqConfig()
+	cfg.NewProtocol = nil
+	if _, err := Run(cfg, &Program{Body: func(p *Proc) {}}); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := Run(seqConfig(), &Program{Name: "nobody"}); err == nil {
+		t.Error("nil body accepted")
+	}
+}
+
+func TestNullProtocolRequiresOneProc(t *testing.T) {
+	cfg := seqConfig()
+	cfg.ProcsPerNode = 2
+	_, err := Run(cfg, &Program{Body: func(p *Proc) {}})
+	if err == nil {
+		t.Error("NullProtocol with 2 procs accepted")
+	}
+}
+
+func TestStatsCommWaitAndAdd(t *testing.T) {
+	var s Stats
+	s.FinishedAt = 1000
+	s.Cat[CatUser] = 300
+	s.Cat[CatProtocol] = 200
+	if s.CommWait() != 500 {
+		t.Errorf("CommWait = %d, want 500", s.CommWait())
+	}
+	var tot Stats
+	tot.Add(&s)
+	tot.Add(&s)
+	if tot.Cat[CatUser] != 600 || tot.FinishedAt != 1000 {
+		t.Errorf("Add wrong: %+v", tot)
+	}
+	s2 := s
+	s2.FinishedAt = 100 // over-charged: clamp to zero
+	if s2.CommWait() != 0 {
+		t.Errorf("CommWait clamp failed: %d", s2.CommWait())
+	}
+}
+
+func TestImageWriterOutOfRangePanics(t *testing.T) {
+	l := NewLayout()
+	l.F64(1)
+	prog := &Program{
+		Name:        "oob",
+		SharedBytes: l.Size(),
+		Init: func(w *ImageWriter) {
+			w.WriteF64(1<<30, 1) // far outside
+		},
+		Body: func(p *Proc) {},
+	}
+	if _, err := Run(seqConfig(), prog); err == nil {
+		t.Error("out-of-segment init write did not fail the run")
+	}
+}
+
+func TestSpinWaitServicesAndBounds(t *testing.T) {
+	// SpinWait must advance virtual time while waiting and panic (failing
+	// the run) when the condition never becomes true.
+	cfg := seqConfig()
+	prog := &Program{
+		Name:        "spin",
+		SharedBytes: vmPageSize,
+		Body: func(p *Proc) {
+			deadline := p.Sim().Now() + 100*sim.Microsecond
+			p.SpinWait("until deadline", func() bool { return p.Sim().Now() >= deadline })
+			if p.Sim().Now() < deadline {
+				t.Error("SpinWait returned early")
+			}
+		},
+	}
+	if _, err := Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	hang := &Program{
+		Name:        "spinhang",
+		SharedBytes: vmPageSize,
+		Body: func(p *Proc) {
+			p.SpinWait("never", func() bool { return false })
+		},
+	}
+	if _, err := Run(cfg, hang); err == nil {
+		t.Error("livelocked SpinWait did not fail the run")
+	}
+}
+
+func TestChargeCategories(t *testing.T) {
+	cfg := seqConfig()
+	prog := &Program{
+		Name:        "cats",
+		SharedBytes: vmPageSize,
+		Body: func(p *Proc) {
+			p.Charge(CatProtocol, 100)
+			p.ChargeProtocol(50)
+			p.Charge(CatDoubling, 25)
+			p.Finish()
+			st := p.Snapshot()
+			if st.Cat[CatProtocol] != 150 || st.Cat[CatDoubling] != 25 {
+				t.Errorf("categories: %+v", st.Cat)
+			}
+		},
+	}
+	if _, err := Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializedFrame(t *testing.T) {
+	cfg := seqConfig()
+	l := NewLayout()
+	arr := l.F64Pages(4)
+	prog := &Program{
+		Name:        "mat",
+		SharedBytes: l.Size(),
+		Init:        func(w *ImageWriter) { arr.Init(w, 2, 9.5) },
+		Body: func(p *Proc) {
+			fr := p.MaterializedFrame(0)
+			if fr == nil {
+				t.Fatal("nil frame")
+			}
+			if got := arr.At(p, 2); got != 9.5 {
+				t.Errorf("image value = %v", got)
+			}
+			if &p.MaterializedFrame(0)[0] != &fr[0] {
+				t.Error("MaterializedFrame reallocated")
+			}
+		},
+	}
+	if _, err := Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const vmPageSize = 8192
+
+// BenchmarkSharedAccess measures the simulator's shared-memory fast path
+// (page-table check, cache model, cost accounting).
+func BenchmarkSharedAccess(b *testing.B) {
+	cfg := seqConfig()
+	c := cache.Alpha21064A
+	cfg.Cache = &c
+	l := NewLayout()
+	arr := l.F64Pages(8192)
+	n := b.N
+	prog := &Program{
+		Name:        "hotpath",
+		SharedBytes: l.Size(),
+		Body: func(p *Proc) {
+			for i := 0; i < n; i++ {
+				arr.Set(p, i%arr.N, float64(i))
+			}
+		},
+	}
+	b.ResetTimer()
+	if _, err := Run(cfg, prog); err != nil {
+		b.Fatal(err)
+	}
+}

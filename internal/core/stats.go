@@ -1,0 +1,111 @@
+package core
+
+import "repro/internal/sim"
+
+// Category classifies charged virtual time for the Figure 6 execution-time
+// breakdown. Time not charged to any category (blocking in synchronization,
+// waiting for replies, spin loops) is communication-and-wait time, computed
+// as elapsed minus the sum of charged categories.
+type Category int
+
+const (
+	// CatUser is application computation and shared-memory access time.
+	CatUser Category = iota
+	// CatProtocol is coherence-protocol work: fault handling, directory
+	// updates, twin/diff operations, write-notice processing.
+	CatProtocol
+	// CatPolling is the instrumentation overhead of message polling.
+	CatPolling
+	// CatDoubling is the instruction overhead of write doubling (Cashmere).
+	CatDoubling
+	// NumCategories is the number of charge categories.
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatUser:
+		return "User"
+	case CatProtocol:
+		return "Protocol"
+	case CatPolling:
+		return "Polling"
+	case CatDoubling:
+		return "Write doubling"
+	}
+	return "unknown"
+}
+
+// Stats are one processor's counters and time breakdown. The protocol
+// implementations increment the event counters; the kernel charges the time
+// categories.
+type Stats struct {
+	// Cat accumulates charged time per category.
+	Cat [NumCategories]sim.Time
+	// FinishedAt is the processor's clock when Finish was called (or when
+	// its body returned).
+	FinishedAt sim.Time
+
+	// Shared counters (paper Table 3).
+	ReadFaults   int64
+	WriteFaults  int64
+	LockAcquires int64
+	Barriers     int64
+
+	// Cashmere counters.
+	PageTransfers int64
+	WriteNotices  int64
+	PageCopies    int64 // includes same-node copies
+
+	// TreadMarks counters.
+	Twins        int64
+	DiffsCreated int64
+	DiffsApplied int64
+	PageFetches  int64
+
+	// Messaging (filled from the endpoint at snapshot time).
+	Messages  int64
+	DataBytes int64
+
+	// Cache model results (filled at snapshot time).
+	CacheHits, CacheMisses uint64
+}
+
+// CommWait returns the communication-and-wait time implied by the breakdown:
+// elapsed time not charged to any category.
+func (s *Stats) CommWait() sim.Time {
+	w := s.FinishedAt
+	for _, t := range s.Cat {
+		w -= t
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// Add accumulates other into s (for cluster-wide aggregates). FinishedAt
+// takes the maximum.
+func (s *Stats) Add(other *Stats) {
+	for i := range s.Cat {
+		s.Cat[i] += other.Cat[i]
+	}
+	if other.FinishedAt > s.FinishedAt {
+		s.FinishedAt = other.FinishedAt
+	}
+	s.ReadFaults += other.ReadFaults
+	s.WriteFaults += other.WriteFaults
+	s.LockAcquires += other.LockAcquires
+	s.Barriers += other.Barriers
+	s.PageTransfers += other.PageTransfers
+	s.WriteNotices += other.WriteNotices
+	s.PageCopies += other.PageCopies
+	s.Twins += other.Twins
+	s.DiffsCreated += other.DiffsCreated
+	s.DiffsApplied += other.DiffsApplied
+	s.PageFetches += other.PageFetches
+	s.Messages += other.Messages
+	s.DataBytes += other.DataBytes
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+}

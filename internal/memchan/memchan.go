@@ -1,0 +1,283 @@
+// Package memchan models DEC's Memory Channel network (paper §3.1) for the
+// simulated cluster.
+//
+// The model reproduces the properties the DSM protocols actually depend on:
+//
+//   - Remote writes only: a node can write into another node's memory through
+//     transmit-mapped regions, but cannot read remote memory. Reads are always
+//     local; data becomes locally readable only after it has been written to a
+//     receive-mapped region on the reader's node.
+//   - Latency: a process-to-process write becomes visible at remote receive
+//     regions 5.2 µs after it is issued.
+//   - Total write ordering: two writes to the same region appear in the same
+//     order in every receive region. In the simulator this falls out of the
+//     baton-passing scheduler: writes are executed one at a time in virtual
+//     time order, and a per-word visibility horizon hides a write from remote
+//     readers until it has "arrived".
+//   - Bandwidth: per-link transfer bandwidth (~30 MB/s, limited by the 32-bit
+//     PCI bus) and aggregate bandwidth (~32 MB/s with the first-generation
+//     driver) are modelled as occupancy horizons; bulk transfers and the
+//     write-through pipe queue behind them.
+//   - Inter-node interrupts (imc_kill): cheap for the sender (~5 µs), but
+//     with an end-to-end delivery cost of ~1 ms because the signal is only
+//     filtered up when the receiving process enters the kernel (§3.2).
+//
+// Approximations (documented in DESIGN.md): word values keep one previous
+// version for remote readers inside the visibility window rather than a full
+// history, and the write-through pipe charges per-link bandwidth without
+// aggregate contention (bulk transfers charge both).
+package memchan
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params are the Memory Channel timing and capacity parameters. Zero values
+// are invalid; use DefaultParams (first-generation MC, as measured in the
+// paper) or SecondGeneration for the paper's projection.
+type Params struct {
+	// Latency is the process-to-process write latency (paper: 5.2 µs).
+	Latency sim.Time
+	// WriteCost is the processor-side cost of issuing one PIO write to a
+	// transmit region (store to I/O space over PCI).
+	WriteCost sim.Time
+	// LinkBandwidth is the per-link transfer bandwidth in bytes per second
+	// (paper: ~30 MB/s, limited by the 32-bit PCI bus).
+	LinkBandwidth int64
+	// AggregateBandwidth is the cluster-wide bandwidth in bytes per second
+	// (paper: ~32 MB/s with the early driver).
+	AggregateBandwidth int64
+	// InterruptSendCost is the sender-side cost of imc_kill (paper: 5 µs).
+	InterruptSendCost sim.Time
+	// InterruptLatency is the end-to-end inter-node signal latency
+	// (paper: ~1 ms, dominated by kernel filtering on the receiver).
+	InterruptLatency sim.Time
+	// WriteBufferBytes is the depth of the processor's write buffer feeding
+	// the MC adapter; the write-through pipe stalls the writer when more
+	// than this many bytes are still undrained.
+	WriteBufferBytes int64
+}
+
+// DefaultParams models the first-generation Memory Channel measured in the
+// paper.
+func DefaultParams() Params {
+	return Params{
+		Latency:            5200, // 5.2 µs
+		WriteCost:          250,  // PIO store over 32-bit PCI
+		LinkBandwidth:      30e6,
+		AggregateBandwidth: 32e6,
+		InterruptSendCost:  5 * sim.Microsecond,
+		InterruptLatency:   1 * sim.Millisecond,
+		WriteBufferBytes:   512,
+	}
+}
+
+// SecondGeneration models the paper's §1 projection for the follow-on
+// network: "something like half the latency, and an order of magnitude more
+// bandwidth".
+func SecondGeneration() Params {
+	p := DefaultParams()
+	p.Latency /= 2
+	p.LinkBandwidth *= 10
+	p.AggregateBandwidth *= 10
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Latency <= 0 || p.WriteCost <= 0 || p.InterruptSendCost <= 0 || p.InterruptLatency <= 0 {
+		return fmt.Errorf("memchan: non-positive timing parameter: %+v", p)
+	}
+	if p.LinkBandwidth <= 0 || p.AggregateBandwidth <= 0 || p.WriteBufferBytes <= 0 {
+		return fmt.Errorf("memchan: non-positive capacity parameter: %+v", p)
+	}
+	return nil
+}
+
+// TrafficClass labels Memory Channel traffic for the statistics the paper's
+// Table 3 and Figure 6 break down.
+type TrafficClass int
+
+const (
+	// TrafficDoubling is write-through traffic from doubled shared writes.
+	TrafficDoubling TrafficClass = iota
+	// TrafficPage is whole-page (and diff) data transfer traffic.
+	TrafficPage
+	// TrafficMeta is directory and write-notice traffic.
+	TrafficMeta
+	// TrafficSync is lock and barrier traffic.
+	TrafficSync
+	// TrafficMessage is request/response message traffic.
+	TrafficMessage
+	numTrafficClasses
+)
+
+func (tc TrafficClass) String() string {
+	switch tc {
+	case TrafficDoubling:
+		return "doubling"
+	case TrafficPage:
+		return "page"
+	case TrafficMeta:
+		return "meta"
+	case TrafficSync:
+		return "sync"
+	case TrafficMessage:
+		return "message"
+	}
+	return "unknown"
+}
+
+// Net is the Memory Channel instance for one simulated cluster.
+type Net struct {
+	params Params
+	eng    *sim.Engine
+
+	// linkFree[n] is the virtual time at which node n's adapter link is next
+	// free; aggFree is the same for the shared hub.
+	linkFree []sim.Time
+	aggFree  sim.Time
+
+	// pipe[p] is the write-through pipe state for processor p.
+	pipe []pipeState
+
+	bytesByClass [numTrafficClasses]int64
+	writesIssued int64
+	transfers    int64
+	interrupts   int64
+}
+
+type pipeState struct {
+	// drainAt is the virtual time at which all write-through bytes issued so
+	// far will have drained onto the link.
+	drainAt sim.Time
+	// bytes counts total doubled bytes issued (stats).
+	bytes int64
+}
+
+// New creates a Memory Channel for the engine's cluster.
+func New(eng *sim.Engine, params Params) (*Net, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Net{
+		params:   params,
+		eng:      eng,
+		linkFree: make([]sim.Time, eng.Config().Nodes),
+		pipe:     make([]pipeState, eng.NumProcs()),
+	}, nil
+}
+
+// Params returns the network parameters.
+func (n *Net) Params() Params { return n.params }
+
+// TrafficBytes returns the bytes transferred so far in the given class.
+func (n *Net) TrafficBytes(tc TrafficClass) int64 { return n.bytesByClass[tc] }
+
+// TotalTraffic returns all bytes transferred.
+func (n *Net) TotalTraffic() int64 {
+	var t int64
+	for _, b := range n.bytesByClass {
+		t += b
+	}
+	return t
+}
+
+// Transfers returns the number of bulk transfers performed.
+func (n *Net) Transfers() int64 { return n.transfers }
+
+// Interrupts returns the number of inter-node interrupts sent.
+func (n *Net) Interrupts() int64 { return n.interrupts }
+
+// durOn returns the time bytes occupy a pipe of the given bandwidth.
+func durOn(bytes int64, bw int64) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	return sim.Time(bytes * int64(sim.Second) / bw)
+}
+
+// Transfer models a bulk data movement of size bytes from the caller's node
+// to node dst (page copies, diffs, message payloads). The caller is charged
+// the PIO issue cost; the returned time is when the data is fully visible in
+// dst's receive region, accounting for link and aggregate bandwidth
+// occupancy and the MC latency. The caller's clock is advanced past the
+// issue cost but NOT to the arrival time (writes are asynchronous).
+func (n *Net) Transfer(p *sim.Proc, dst int, bytes int64, tc TrafficClass) sim.Time {
+	p.Advance(n.params.WriteCost)
+	src := p.Node
+	start := p.Now()
+	if n.linkFree[src] > start {
+		start = n.linkFree[src]
+	}
+	if n.aggFree > start {
+		start = n.aggFree
+	}
+	linkDur := durOn(bytes, n.params.LinkBandwidth)
+	aggDur := durOn(bytes, n.params.AggregateBandwidth)
+	n.linkFree[src] = start + linkDur
+	if dst != src {
+		// The receiving link is occupied by the DMA into the receive region.
+		if rcv := n.linkFree[dst]; rcv > start {
+			// Receiver contention delays completion.
+			start = rcv
+			n.linkFree[src] = start + linkDur
+		}
+		n.linkFree[dst] = start + linkDur
+	}
+	n.aggFree = start + aggDur
+	n.bytesByClass[tc] += bytes
+	n.transfers++
+	arrival := start + linkDur + n.params.Latency
+	return arrival
+}
+
+// WriteThrough models one doubled shared-memory write of size bytes headed to
+// the home node home. It is deliberately cheap: the store cost itself is
+// charged by the caller's cost model; this call only accounts for write
+// buffer and link occupancy, stalling the writer if the buffer is full.
+func (n *Net) WriteThrough(p *sim.Proc, home int, bytes int64) {
+	ps := &n.pipe[p.ID]
+	if ps.drainAt < p.Now() {
+		ps.drainAt = p.Now()
+	}
+	ps.drainAt += durOn(bytes, n.params.LinkBandwidth)
+	ps.bytes += bytes
+	n.bytesByClass[TrafficDoubling] += bytes
+	// Stall if the write buffer cannot absorb the backlog.
+	if backlog := ps.drainAt - p.Now(); backlog > durOn(n.params.WriteBufferBytes, n.params.LinkBandwidth) {
+		p.AdvanceTo(ps.drainAt - durOn(n.params.WriteBufferBytes, n.params.LinkBandwidth))
+	}
+}
+
+// FenceTime returns the virtual time at which all of processor p's
+// write-through traffic issued so far is guaranteed applied at its home
+// nodes (drain plus latency). Cashmere's release operation waits for this.
+func (n *Net) FenceTime(p *sim.Proc) sim.Time {
+	d := n.pipe[p.ID].drainAt
+	if d < p.Now() {
+		d = p.Now()
+	}
+	return d + n.params.Latency
+}
+
+// DoubledBytes returns the total write-through bytes issued by processor p.
+func (n *Net) DoubledBytes(p *sim.Proc) int64 { return n.pipe[p.ID].bytes }
+
+// AccountTraffic records bytes of Memory Channel traffic in the given class
+// without occupancy modelling, for small metadata writes whose cost the
+// caller charges explicitly (directory broadcast updates).
+func (n *Net) AccountTraffic(tc TrafficClass, bytes int64) {
+	n.bytesByClass[tc] += bytes
+}
+
+// Interrupt sends an imc_kill-style inter-node signal to the target
+// processor: the sender pays the send cost, and the target's inbox receives
+// a message with the given kind and payload at now + InterruptLatency.
+func (n *Net) Interrupt(p *sim.Proc, target *sim.Proc, kind int, data any) {
+	p.Advance(n.params.InterruptSendCost)
+	n.interrupts++
+	target.Deliver(p.NewMsg(p.Now()+n.params.InterruptLatency, kind, data))
+}

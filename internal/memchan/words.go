@@ -1,0 +1,117 @@
+package memchan
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// WordArray is a region of 8-byte words mapped for transmit and receive on
+// every node: the representation used for Cashmere's page directory, lock
+// arrays, barrier flags, and message flow-control flags.
+//
+// Visibility model: a write performed at virtual time t becomes visible to
+// remote nodes at t+Latency. With Write, the writer's own node sees the new
+// value immediately (the implementation writes the local receive region
+// directly, paper §3.3); with WriteLoopback everyone, including the writer's
+// node, sees it at t+Latency (paper §3.3.2, used by the lock algorithm).
+// One previous value is retained for readers inside the visibility window.
+type WordArray struct {
+	net   *Net
+	name  string
+	tc    TrafficClass
+	words []word
+}
+
+type word struct {
+	cur, prev   int64
+	visibleFrom sim.Time
+	writerNode  int // -1: visible per visibleFrom only (loopback write)
+}
+
+// NewWordArray allocates a globally mapped array of n 8-byte words, all zero,
+// charging traffic to the given class.
+func (net *Net) NewWordArray(name string, n int, tc TrafficClass) *WordArray {
+	w := &WordArray{net: net, name: name, tc: tc, words: make([]word, n)}
+	for i := range w.words {
+		w.words[i].writerNode = -1
+	}
+	return w
+}
+
+// Len returns the number of words.
+func (w *WordArray) Len() int { return len(w.words) }
+
+// Read returns the value of word i as seen from processor p's node at p's
+// current virtual time. Reads are local memory reads (receive regions live in
+// RAM) and cost nothing here; callers charge their own cost model.
+func (w *WordArray) Read(p *sim.Proc, i int) int64 {
+	wd := &w.words[i]
+	if p.Now() >= wd.visibleFrom || p.Node == wd.writerNode {
+		return wd.cur
+	}
+	return wd.prev
+}
+
+// Write stores v into word i: one store to the local receive region (visible
+// on the writer's node immediately) and one PIO store to the transmit region
+// (visible remotely after the MC latency). The writer is charged two store
+// costs.
+func (w *WordArray) Write(p *sim.Proc, i int, v int64) {
+	p.Advance(2 * w.net.params.WriteCost)
+	w.set(p, i, v, p.Node)
+}
+
+// WriteLoopback stores v into word i via the Memory Channel with loop-back
+// enabled: every node, including the writer's, sees the new value only after
+// the MC latency. Used by synchronization primitives that rely on total
+// write ordering.
+func (w *WordArray) WriteLoopback(p *sim.Proc, i int, v int64) {
+	p.Advance(w.net.params.WriteCost)
+	w.set(p, i, v, -1)
+}
+
+func (w *WordArray) set(p *sim.Proc, i int, v int64, writerNode int) {
+	wd := &w.words[i]
+	wd.prev = wd.cur
+	wd.cur = v
+	wd.visibleFrom = p.Now() + w.net.params.Latency
+	wd.writerNode = writerNode
+	w.net.bytesByClass[w.tc] += 8
+	w.net.writesIssued++
+}
+
+// Spin re-check intervals: start fine-grained so short waits (lock handoffs,
+// barrier notifications) resolve with microsecond accuracy, then back off to
+// bound scheduler work on long waits.
+const (
+	spinStepMin = 500 * sim.Nanosecond
+	spinStepMax = 20 * sim.Microsecond
+	// spinLimit bounds a single spin to catch protocol livelocks; virtual
+	// time advancing 10 simulated seconds inside one spin indicates a bug.
+	spinLimit = 10 * sim.Second
+)
+
+// SpinUntil repeatedly reads word i from processor p until pred returns true,
+// advancing p's clock by a poll interval (with exponential backoff) between
+// reads. It returns the value that satisfied the predicate. SpinUntil panics
+// (failing the simulation with a diagnostic) if the spin exceeds a large
+// virtual-time bound.
+func (w *WordArray) SpinUntil(p *sim.Proc, i int, pred func(int64) bool) int64 {
+	deadline := p.Now() + spinLimit
+	step := spinStepMin
+	for {
+		v := w.Read(p, i)
+		if pred(v) {
+			return v
+		}
+		if p.Now() > deadline {
+			panic(fmt.Sprintf("memchan: proc %d spun for %dns on %s[%d] (value %d) without progress",
+				p.ID, spinLimit, w.name, i, v))
+		}
+		p.Sleep(step)
+		if step < spinStepMax {
+			step *= 2
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import "fmt"
+
+// Proc is one simulated processor. All of its methods must be called from the
+// processor's own body function (the goroutine started by Run), except
+// Deliver and WakeAt which are called from whichever processor currently
+// holds the baton.
+type Proc struct {
+	// ID is the global processor id, 0..NumProcs-1, dense by node.
+	ID int
+	// Node is the SMP node the processor belongs to.
+	Node int
+	// CPU is the processor's index within its node.
+	CPU int
+
+	eng    *Engine
+	body   func(*Proc)
+	resume chan struct{}
+
+	now      Time
+	state    procState
+	queueSeq uint64 // validity stamp for run-queue entries
+	queuedAt Time   // resume time of the live run-queue entry (state == stateQueued)
+
+	// wakeToken records that a WakeAt was issued and not yet consumed by a
+	// Block. Tokens survive intervening Yields so that a wake issued while
+	// the target is merely between scheduling points is not lost.
+	wakeToken   bool
+	wakeTokenAt Time
+
+	blockReason string
+
+	inbox mailbox
+
+	// lastYield tracks the clock at the most recent scheduler handoff so
+	// that YieldIfQuantum can bound how far a processor runs ahead between
+	// interaction points.
+	lastYield Time
+}
+
+// Engine returns the engine this processor belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the processor's virtual clock in nanoseconds.
+func (p *Proc) Now() Time { return p.now }
+
+// Advance adds d nanoseconds of local work to the processor's clock. It never
+// yields; callers that can tolerate a scheduling point should follow up with
+// YieldIfQuantum.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %d Advance(%d): negative duration", p.ID, d))
+	}
+	p.now += d
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; it is a no-op
+// otherwise.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+func (p *Proc) run() {
+	<-p.resume // wait for the first dispatch
+	done := false
+	defer func() {
+		if r := recover(); r != nil {
+			p.eng.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d panicked: %v", p.ID, r)}
+			return
+		}
+		if !done {
+			// The body exited via runtime.Goexit (e.g. t.Fatalf in a test
+			// body). Report it so the engine does not hang.
+			p.eng.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d exited abnormally (runtime.Goexit)", p.ID)}
+		}
+	}()
+	p.body(p)
+	done = true
+	p.eng.reports <- report{p: p, kind: reportDone}
+}
+
+// Yield hands the baton back to the scheduler and resumes when this processor
+// once again has the minimum clock among runnable processors. Every globally
+// visible action must be preceded by a Yield (directly or via Block) so that
+// cross-processor interactions happen in virtual-time order.
+func (p *Proc) Yield() { p.yieldUntil(p.now) }
+
+// YieldUntil parks the processor until virtual time t, resuming earlier if
+// another processor issues a WakeAt with an earlier time (message delivery
+// does this). Unlike SleepUntil, the clock is not advanced up front, so an
+// early wake resumes with the clock unchanged.
+func (p *Proc) YieldUntil(t Time) {
+	if t < p.now {
+		t = p.now
+	}
+	p.yieldUntil(t)
+}
+
+func (p *Proc) yieldUntil(t Time) {
+	p.lastYield = p.now
+	p.queuedAt = t
+	p.eng.reports <- report{p: p, kind: reportYield, at: t}
+	<-p.resume
+}
+
+// YieldIfQuantum yields only if the processor has run more than quantum
+// nanoseconds since its last scheduling point. Long local computations call
+// this periodically so that their clock does not race arbitrarily far ahead
+// of processors that might want to interact with them.
+func (p *Proc) YieldIfQuantum(quantum Time) {
+	if p.now-p.lastYield >= quantum {
+		p.Yield()
+	}
+}
+
+// Block parks the processor until another processor calls WakeAt (or until a
+// message is delivered by code that wakes it). The reason string appears in
+// deadlock reports. If an unconsumed wake is outstanding (issued at any point
+// since the last Block returned), it is consumed immediately and the
+// processor does not park. Callers must therefore treat Block as a condition
+// variable wait: re-check the condition in a loop.
+func (p *Proc) Block(reason string) {
+	if p.wakeToken {
+		p.wakeToken = false
+		p.AdvanceTo(p.wakeTokenAt)
+		return
+	}
+	p.blockReason = reason
+	p.lastYield = p.now
+	p.eng.reports <- report{p: p, kind: reportBlock}
+	<-p.resume
+	p.blockReason = ""
+	p.wakeToken = false // the wake that resumed us is consumed
+}
+
+// WakeAt makes the target processor runnable no earlier than virtual time t
+// and deposits a wake token consumed by the target's next Block. If the
+// target is blocked it is queued to resume at max(its clock, t). If it is
+// already queued with a later resume time, the earlier time wins. WakeAt must
+// be called by the processor currently holding the baton (or by the engine
+// before Run).
+func (e *Engine) WakeAt(target *Proc, t Time) {
+	if !target.wakeToken || t < target.wakeTokenAt {
+		target.wakeToken = true
+		target.wakeTokenAt = t
+	}
+	switch target.state {
+	case stateBlocked:
+		e.enqueue(target, t)
+	case stateQueued:
+		if t < target.queuedAt {
+			// Supersede the stale entry: pushing with a fresh sequence stamp
+			// invalidates the old one, which is skipped when popped.
+			e.enqueue(target, t)
+		}
+	}
+}
+
+func (e *Engine) enqueue(target *Proc, t Time) {
+	target.state = stateQueued
+	target.queueSeq++
+	target.queuedAt = t
+	e.pushCount++
+	e.runq.push(entry{at: t, order: e.pushCount, procID: target.ID, seq: target.queueSeq})
+}
+
+// SleepUntil advances the processor's clock to virtual time t and yields, so
+// that any processor with an earlier clock runs first. If t is not in the
+// future it returns immediately without yielding.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.now {
+		return
+	}
+	p.now = t
+	p.Yield()
+}
+
+// Sleep blocks the processor for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) { p.SleepUntil(p.now + d) }

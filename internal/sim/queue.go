@@ -1,0 +1,70 @@
+package sim
+
+// entry is one run-queue element: processor procID becomes runnable at
+// virtual time at. seq stamps the entry; if it no longer matches the
+// processor's queueSeq when popped, the entry has been superseded. order is a
+// global push counter.
+type entry struct {
+	at     Time
+	order  uint64
+	procID int
+	seq    uint64
+}
+
+// less orders entries by (time, push order). FIFO ordering among equal-time
+// entries makes Yield hand the baton to same-clock peers instead of spinning,
+// and is deterministic because pushes happen in a deterministic order.
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.order < b.order
+}
+
+// runQueue is a binary min-heap of entries. A hand-rolled heap (rather than
+// container/heap) keeps the hot path free of interface conversions.
+type runQueue struct {
+	h []entry
+}
+
+func (q *runQueue) push(e entry) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].less(q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *runQueue) pop() (entry, bool) {
+	if len(q.h) == 0 {
+		return entry{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.h) && q.h[l].less(q.h[smallest]) {
+			smallest = l
+		}
+		if r < len(q.h) && q.h[r].less(q.h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+	return top, true
+}
+
+func (q *runQueue) len() int { return len(q.h) }

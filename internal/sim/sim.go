@@ -1,0 +1,262 @@
+// Package sim provides a deterministic discrete-event simulation engine for a
+// cluster of SMP nodes.
+//
+// Each simulated processor is a goroutine with its own virtual clock. Exactly
+// one processor goroutine executes at any moment: control is handed back and
+// forth between the engine and the running processor through unbuffered
+// channels, so the simulation needs no locks and is bit-deterministic.
+//
+// The scheduling rule is the classic conservative one: the engine always
+// resumes the runnable processor with the minimum virtual clock (ties are
+// FIFO in queue-push order, which is itself deterministic). Processors
+// accumulate virtual time locally with Advance and must Yield before
+// performing any globally visible action (acquiring a
+// lock, sending a message, updating a directory entry, ...). This guarantees
+// that when a processor performs such an action at virtual time t, no other
+// processor can still perform an earlier conflicting action: all runnable
+// processors have clocks >= t and blocked processors can only be woken at
+// times chosen by already-ordered events.
+//
+// Timing model: virtual time is int64 nanoseconds (type Time). Real wall-clock
+// time plays no role anywhere in the package.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds.
+type Time = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Config describes the simulated cluster shape.
+type Config struct {
+	// Nodes is the number of SMP nodes in the cluster.
+	Nodes int
+	// ProcsPerNode is the number of processors on each node.
+	ProcsPerNode int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sim: config needs at least one node, got %d", c.Nodes)
+	}
+	if c.ProcsPerNode <= 0 {
+		return fmt.Errorf("sim: config needs at least one processor per node, got %d", c.ProcsPerNode)
+	}
+	return nil
+}
+
+// TotalProcs returns the number of processors in the cluster.
+func (c Config) TotalProcs() int { return c.Nodes * c.ProcsPerNode }
+
+type procState uint8
+
+const (
+	stateNew     procState = iota
+	stateQueued            // in the run queue, waiting to be resumed
+	stateRunning           // currently holds the baton
+	stateBlocked           // waiting for a Wake
+	stateDone              // body function returned
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+type reportKind uint8
+
+const (
+	reportYield reportKind = iota
+	reportBlock
+	reportDone
+	reportPanic
+)
+
+type report struct {
+	p    *Proc
+	kind reportKind
+	at   Time // resume time for reportYield
+	err  error
+}
+
+// Engine owns the simulated cluster: its processors, the run queue, and the
+// global event ordering. Create one with NewEngine, add processors with
+// NewProc, give each a body with Go, then call Run.
+type Engine struct {
+	cfg       Config
+	procs     []*Proc
+	runq      runQueue
+	reports   chan report
+	msgSeq    uint64 // global sequence for deterministic message tie-breaking
+	pushCount uint64 // global run-queue push counter for FIFO tie-breaking
+	started   bool
+}
+
+// NewEngine creates an engine for the given cluster shape and instantiates
+// all of its processors. The processors have no bodies yet; attach them with
+// Go before calling Run.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		reports: make(chan report),
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		for c := 0; c < cfg.ProcsPerNode; c++ {
+			p := &Proc{
+				ID:     len(e.procs),
+				Node:   n,
+				CPU:    c,
+				eng:    e,
+				resume: make(chan struct{}),
+			}
+			e.procs = append(e.procs, p)
+		}
+	}
+	return e, nil
+}
+
+// Config returns the cluster shape the engine was created with.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Procs returns all processors in id order. The slice must not be modified.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Proc returns the processor with the given id.
+func (e *Engine) Proc(id int) *Proc { return e.procs[id] }
+
+// NumProcs returns the number of processors.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Go attaches a body function to a processor. The body starts executing, at
+// virtual time 0, when Run is called. Go panics if called after Run or if the
+// processor already has a body.
+func (e *Engine) Go(p *Proc, body func(*Proc)) {
+	if e.started {
+		panic("sim: Go called after Run")
+	}
+	if p.body != nil {
+		panic(fmt.Sprintf("sim: proc %d already has a body", p.ID))
+	}
+	p.body = body
+}
+
+// Run executes the simulation until every processor with a body has finished,
+// or until no progress is possible (deadlock). It returns an error describing
+// a deadlock or a panic inside a processor body.
+func (e *Engine) Run() error {
+	if e.started {
+		return fmt.Errorf("sim: engine already ran")
+	}
+	e.started = true
+
+	active := 0
+	for _, p := range e.procs {
+		if p.body == nil {
+			p.state = stateDone
+			continue
+		}
+		active++
+		e.enqueue(p, 0)
+		go p.run()
+	}
+
+	var firstErr error
+	for active > 0 {
+		ent, ok := e.runq.pop()
+		if !ok {
+			return e.deadlockError(active)
+		}
+		p := e.procs[ent.procID]
+		if p.state != stateQueued || ent.seq != p.queueSeq {
+			continue // stale queue entry superseded by a later Wake
+		}
+		if ent.at > p.now {
+			p.now = ent.at
+		}
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		r := <-e.reports
+		switch r.kind {
+		case reportYield:
+			e.enqueue(p, r.at)
+		case reportBlock:
+			p.state = stateBlocked
+		case reportDone:
+			p.state = stateDone
+			active--
+		case reportPanic:
+			p.state = stateDone
+			active--
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			// Drain: other goroutines are parked on their resume channels
+			// and will be collected when the process exits; the simulation
+			// result is already invalid.
+			return firstErr
+		}
+	}
+	return firstErr
+}
+
+func (e *Engine) deadlockError(active int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock with %d processors unfinished:", active)
+	ids := make([]int, 0, len(e.procs))
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			ids = append(ids, p.ID)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := e.procs[id]
+		fmt.Fprintf(&b, "\n  proc %d (node %d) %s at t=%dns: %s", p.ID, p.Node, p.state, p.now, p.blockReason)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// MaxTime returns the largest virtual clock over all processors. After Run it
+// is the simulated parallel execution time.
+func (e *Engine) MaxTime() Time {
+	var max Time
+	for _, p := range e.procs {
+		if p.now > max {
+			max = p.now
+		}
+	}
+	return max
+}
+
+// nextMsgSeq hands out globally unique message sequence numbers, used to
+// break ties between messages that arrive at the same virtual instant.
+func (e *Engine) nextMsgSeq() uint64 {
+	e.msgSeq++
+	return e.msgSeq
+}

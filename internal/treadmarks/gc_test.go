@@ -1,0 +1,120 @@
+package treadmarks
+
+import (
+	"testing"
+
+	"repro/internal/apps/fuzz"
+	"repro/internal/core"
+	"repro/internal/memchan"
+	"repro/internal/msg"
+)
+
+func gcConfig(nodes, ppn, interval int, capture **Protocol) core.Config {
+	return core.Config{
+		Nodes: nodes, ProcsPerNode: ppn,
+		MC: memchan.DefaultParams(), Costs: core.DefaultCosts(),
+		Msg: msg.DefaultParams(msg.ModePoll), PollingInstrumented: true,
+		NewProtocol: func(rt *core.Runtime) core.Protocol {
+			pr := New(Config{GCBarrierInterval: interval})(rt).(*Protocol)
+			if capture != nil {
+				*capture = pr
+			}
+			return pr
+		},
+		Variant: "tmk_gc",
+	}
+}
+
+// TestGCPreservesCorrectness runs the race-free fuzz program with aggressive
+// GC (every barrier episode) and checks the oracle still holds.
+func TestGCPreservesCorrectness(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		var proto *Protocol
+		c := fuzz.Default(seed)
+		res, err := core.Run(gcConfig(2, 2, 1, &proto), fuzz.New(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantArr, wantTok := fuzz.ExpectedChecks(c, 4)
+		if got := res.Checks["arraysum"]; got != wantArr {
+			t.Errorf("seed %d: arraysum = %v, want %v", seed, got, wantArr)
+		}
+		if got := res.Checks["token"]; got != float64(wantTok) {
+			t.Errorf("seed %d: token = %v, want %v", seed, got, wantTok)
+		}
+		if res.Counters["gc_runs"] == 0 {
+			t.Error("GC never ran")
+		}
+		if res.Counters["diffs_dropped"] == 0 && res.Counters["records_dropped"] == 0 {
+			t.Error("GC dropped nothing")
+		}
+	}
+}
+
+// TestGCBoundsMetadata: with GC on, retained diffs and foreign interval
+// records must be far fewer than without.
+func TestGCBoundsMetadata(t *testing.T) {
+	retained := func(interval int) (diffs, records int) {
+		var proto *Protocol
+		c := fuzz.Default(3)
+		c.Rounds = 10
+		if _, err := core.Run(gcConfig(2, 2, interval, &proto), fuzz.New(c)); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range proto.ps {
+			for _, ds := range st.diffs {
+				diffs += len(ds)
+			}
+			for q := range st.log {
+				records += len(st.log[q])
+			}
+		}
+		return diffs, records
+	}
+	dOff, rOff := retained(0)
+	dOn, rOn := retained(2)
+	if dOn >= dOff {
+		t.Errorf("GC kept %d diffs, no-GC kept %d", dOn, dOff)
+	}
+	if rOn >= rOff {
+		t.Errorf("GC kept %d records, no-GC kept %d", rOn, rOff)
+	}
+}
+
+// TestGCSOR runs a producer-consumer workload (SOR-like boundary sharing)
+// under aggressive GC and verifies data still flows correctly afterwards.
+func TestGCSOR(t *testing.T) {
+	l := core.NewLayout()
+	arr := l.F64Pages(2048)
+	prog := &core.Program{
+		Name: "gcflow", SharedBytes: l.Size(), Barriers: 1,
+		Body: func(p *core.Proc) {
+			n := arr.N
+			np := p.NumProcs()
+			for round := 0; round < 8; round++ {
+				writer := round % np
+				if p.Rank() == writer {
+					for i := 0; i < n; i++ {
+						arr.Set(p, i, float64(round*10+i%5))
+					}
+				}
+				p.Barrier(0)
+				for i := 0; i < n; i += 97 {
+					if got := arr.At(p, i); got != float64(round*10+i%5) {
+						t.Errorf("round %d rank %d: arr[%d] = %v", round, p.Rank(), i, got)
+						return
+					}
+				}
+				p.Barrier(0)
+			}
+			p.Finish()
+		},
+	}
+	var proto *Protocol
+	if _, err := core.Run(gcConfig(2, 2, 3, &proto), prog); err != nil {
+		t.Fatal(err)
+	}
+	if proto.gcRuns == 0 {
+		t.Error("GC never triggered")
+	}
+}

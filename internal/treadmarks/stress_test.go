@@ -1,0 +1,53 @@
+package treadmarks
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memchan"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// TestRepeatedCriticalSections: one page, four chunk locks; each proc
+// repeatedly updates different chunks under their locks (the Water merge
+// pattern). Total must be exact.
+func TestRepeatedCriticalSections(t *testing.T) {
+	cfg := core.Config{
+		Nodes: 2, ProcsPerNode: 2,
+		MC: memchan.DefaultParams(), Costs: core.DefaultCosts(),
+		Msg: msg.DefaultParams(msg.ModePoll), PollingInstrumented: true,
+		NewProtocol: New(Config{}), Variant: "tmk",
+	}
+	l := core.NewLayout()
+	arr := l.F64Pages(64) // all chunks share one page
+	prog := &core.Program{
+		Name: "cs", SharedBytes: l.Size(), Locks: 4, Barriers: 2,
+		Body: func(p *core.Proc) {
+			np := p.NumProcs()
+			for round := 0; round < 6; round++ {
+				// Update every chunk, own chunk last, under chunk locks.
+				for dq := 0; dq < np; dq++ {
+					q := (p.Rank() + dq) % np
+					p.Lock(q)
+					for m := q * 16; m < (q+1)*16; m++ {
+						arr.Set(p, m, arr.At(p, m)+1)
+					}
+					p.Unlock(q)
+					p.Compute(20 * sim.Microsecond)
+				}
+			}
+			p.Barrier(0)
+			for m := 0; m < 64; m++ {
+				if got := arr.At(p, m); got != float64(6*np) {
+					t.Errorf("rank %d: arr[%d] = %v, want %v", p.Rank(), m, got, 6*np)
+				}
+			}
+			p.Barrier(1)
+			p.Finish()
+		},
+	}
+	if _, err := core.Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+}

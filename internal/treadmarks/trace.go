@@ -1,0 +1,16 @@
+package treadmarks
+
+import (
+	"fmt"
+	"math"
+)
+
+var trace bool
+
+func tracef(format string, args ...any) {
+	if trace {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,129 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		page int
+		off  int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{8191, 0, 8191},
+		{8192, 1, 0},
+		{8192*5 + 100, 5, 100},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+		if got := Offset(c.addr); got != c.off {
+			t.Errorf("Offset(%d) = %d, want %d", c.addr, got, c.off)
+		}
+	}
+	if PageBase(3) != 3*8192 {
+		t.Errorf("PageBase(3) = %d", PageBase(3))
+	}
+}
+
+// Property: PageBase(PageOf(a)) + Offset(a) == a for all addresses.
+func TestAddressRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		a &= (1 << 40) - 1 // keep page index in int range
+		return PageBase(PageOf(a))+uint64(Offset(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtSemantics(t *testing.T) {
+	if ProtNone.CanRead() || ProtNone.CanWrite() {
+		t.Error("ProtNone allows access")
+	}
+	if !ProtRead.CanRead() || ProtRead.CanWrite() {
+		t.Error("ProtRead wrong")
+	}
+	if !ProtReadWrite.CanRead() || !ProtReadWrite.CanWrite() {
+		t.Error("ProtReadWrite wrong")
+	}
+	for p, want := range map[Prot]string{ProtNone: "none", ProtRead: "read", ProtReadWrite: "read-write", Prot(9): "invalid"} {
+		if got := p.String(); got != want {
+			t.Errorf("Prot(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestSpaceLifecycle(t *testing.T) {
+	s := NewSpace(4)
+	if s.NumPages() != 4 {
+		t.Fatalf("NumPages = %d", s.NumPages())
+	}
+	for i := 0; i < 4; i++ {
+		if s.Prot(i) != ProtNone {
+			t.Errorf("page %d initial prot = %v", i, s.Prot(i))
+		}
+		if s.Frame(i) != nil {
+			t.Errorf("page %d has initial frame", i)
+		}
+	}
+	s.SetProt(2, ProtReadWrite)
+	if s.Prot(2) != ProtReadWrite {
+		t.Error("SetProt lost")
+	}
+	f := s.EnsureFrame(2)
+	if len(f) != PageSize {
+		t.Fatalf("frame size %d", len(f))
+	}
+	f[0] = 0xAB
+	if g := s.EnsureFrame(2); &g[0] != &f[0] {
+		t.Error("EnsureFrame reallocated an existing frame")
+	}
+	s.DropFrame(2)
+	if s.Frame(2) != nil {
+		t.Error("DropFrame kept frame")
+	}
+	if g := s.EnsureFrame(2); g[0] != 0 {
+		t.Error("new frame not zeroed")
+	}
+}
+
+func TestSuperpageOf(t *testing.T) {
+	if SuperpageOf(0, 4) != 0 || SuperpageOf(3, 4) != 0 || SuperpageOf(4, 4) != 1 || SuperpageOf(11, 4) != 2 {
+		t.Error("SuperpageOf wrong grouping")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SuperpageOf(_, 0) did not panic")
+		}
+	}()
+	SuperpageOf(1, 0)
+}
+
+func TestNewSpaceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpace(-1) did not panic")
+		}
+	}()
+	NewSpace(-1)
+}
+
+// Property: protection levels are totally ordered none < read < read-write
+// in terms of allowed operations.
+func TestProtMonotonicity(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := Prot(raw % 3)
+		if p.CanWrite() && !p.CanRead() {
+			return false // write permission implies read permission
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+# Splices the harness output files into EXPERIMENTS.md's placeholders.
+# Usage: python3 results/finalize.py
+import pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = (root / "EXPERIMENTS.md").read_text()
+
+
+def block(*names):
+    out = []
+    for n in names:
+        out.append((root / "results" / n).read_text().strip())
+    return "```\n" + "\n\n".join(out) + "\n```"
+
+
+exp = exp.replace("PLACEHOLDER_TABLE1", block("table1.txt"))
+exp = exp.replace("PLACEHOLDER_TABLE2", block("table2.txt"))
+exp = exp.replace(
+    "PLACEHOLDER_FIG5",
+    block(
+        "fig5_SOR.txt",
+        "fig5_LU.txt",
+        "fig5_Water.txt",
+        "fig5_TSP.txt",
+        "fig5_Gauss.txt",
+        "fig5_Ilink.txt",
+        "fig5_Em3d.txt",
+        "fig5_Barnes.txt",
+    ),
+)
+exp = exp.replace("PLACEHOLDER_FIG6", block("fig6.txt"))
+exp = exp.replace("PLACEHOLDER_TABLE3", block("table3.txt"))
+exp = exp.replace("PLACEHOLDER_ABLATIONS", block("ablations.txt"))
+(root / "EXPERIMENTS.md").write_text(exp)
+print("EXPERIMENTS.md finalized")
