@@ -20,6 +20,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/variants"
 )
 
@@ -124,6 +125,43 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := bench.Ablations(io.Discard, bench.Options{Size: size()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanExecute measures the runner executing one application's
+// Figure 5 plan end to end at different host-parallelism levels. The cache
+// is reset each iteration so every run is a real simulation; the ratio of
+// jobs1 to jobsN wall time is the harness's host-level speedup.
+func BenchmarkPlanExecute(b *testing.B) {
+	opts := bench.Options{Size: size(), Apps: []string{"SOR"}, Procs: []int{1, 2, 4, 8}}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner.ResetCache()
+				plan := runner.NewPlan()
+				plan.Add(bench.Fig5Specs(opts)...)
+				if _, err := runner.Execute(plan, runner.Options{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCached measures serving a fully cached plan (the steady
+// state when several tables share one sweep).
+func BenchmarkPlanCached(b *testing.B) {
+	opts := bench.Options{Size: size(), Apps: []string{"SOR"}, Procs: []int{1, 2, 4, 8}}
+	plan := runner.NewPlan()
+	plan.Add(bench.Fig5Specs(opts)...)
+	if _, err := runner.Execute(plan, runner.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Execute(plan, runner.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,9 +1,18 @@
 // Command dsmbench regenerates the paper's evaluation section: every table
 // and figure, plus the ablations DESIGN.md calls out.
 //
+// Planning is decoupled from rendering: the selected sections contribute
+// their runs to one combined plan, the plan executes on a bounded pool of
+// host workers (-jobs, default all cores) with identical configurations
+// simulated exactly once, and the sections then render from the shared
+// result set — so e.g. the sequential baseline behind Table 2, Figure 5,
+// and the ablations runs a single time. Every simulation is deterministic
+// in virtual time, so the text output is byte-identical at any -jobs value.
+//
 // Usage:
 //
 //	dsmbench -all                # everything (takes a while at default size)
+//	dsmbench -all -jobs 8 -json  # parallel sweep + results/dsmbench_default.json
 //	dsmbench -table1 -costs
 //	dsmbench -fig5 -apps SOR,LU -procs 1,4,8,32
 //	dsmbench -table3 -size small
@@ -12,27 +21,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every table, figure, and ablation")
-		costs  = flag.Bool("costs", false, "print basic operation costs (§4.1)")
-		table1 = flag.Bool("table1", false, "Table 1: basic operation costs per variant")
-		table2 = flag.Bool("table2", false, "Table 2: data sets and sequential times")
-		table3 = flag.Bool("table3", false, "Table 3: detailed statistics at 32 procs")
-		fig5   = flag.Bool("fig5", false, "Figure 5: speedups")
-		fig6   = flag.Bool("fig6", false, "Figure 6: execution-time breakdown")
-		abl    = flag.Bool("ablations", false, "design-choice ablations")
-		size   = flag.String("size", "default", "dataset size: small or default")
-		appsF  = flag.String("apps", "", "comma-separated application subset")
-		procsF = flag.String("procs", "", "comma-separated processor counts for fig5")
+		all      = flag.Bool("all", false, "run every table, figure, and ablation")
+		costs    = flag.Bool("costs", false, "print basic operation costs (§4.1)")
+		table1   = flag.Bool("table1", false, "Table 1: basic operation costs per variant")
+		table2   = flag.Bool("table2", false, "Table 2: data sets and sequential times")
+		table3   = flag.Bool("table3", false, "Table 3: detailed statistics at 32 procs")
+		fig5     = flag.Bool("fig5", false, "Figure 5: speedups")
+		fig6     = flag.Bool("fig6", false, "Figure 6: execution-time breakdown")
+		abl      = flag.Bool("ablations", false, "design-choice ablations")
+		size     = flag.String("size", "default", "dataset size: small or default")
+		appsF    = flag.String("apps", "", "comma-separated application subset")
+		procsF   = flag.String("procs", "", "comma-separated processor counts for fig5")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "concurrent simulations (host workers)")
+		jsonF    = flag.Bool("json", false, "write the full result set as JSON (see -json-out)")
+		jsonOut  = flag.String("json-out", "", "path for -json output (default results/dsmbench_<size>.json)")
+		progress = flag.Bool("progress", true, "print a progress line to stderr while executing")
 	)
 	flag.Parse()
 
@@ -51,27 +68,104 @@ func main() {
 		}
 	}
 
+	// Phase 1: collect the enabled sections and their specs into one plan.
+	type section struct {
+		enabled bool
+		specs   []runner.RunSpec
+		render  func(io.Writer, *runner.ResultSet) error
+	}
+	sections := []section{
+		{*costs, nil, func(w io.Writer, _ *runner.ResultSet) error { bench.Costs(w); return nil }},
+		{*table1, bench.Table1Specs(opts.VariantOpts), func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.Table1Render(w, opts.VariantOpts, rs)
+		}},
+		{*table2, bench.Table2Specs(opts), func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.Table2Render(w, opts, rs)
+		}},
+		{*fig5, bench.Fig5Specs(opts), func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.Fig5Render(w, opts, rs)
+		}},
+		{*fig6, bench.Fig6Specs(opts), func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.Fig6Render(w, opts, rs)
+		}},
+		{*table3, bench.Table3Specs(opts), func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.Table3Render(w, opts, rs)
+		}},
+		{*abl, bench.AblationSpecs(opts), func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.AblationsRender(w, opts, rs)
+		}},
+	}
+	plan := runner.NewPlan()
 	any := false
-	run := func(enabled bool, f func() error) {
-		if !enabled && !*all {
-			return
-		}
-		any = true
-		if err := f(); err != nil {
-			fmt.Fprintln(os.Stderr, "dsmbench:", err)
-			os.Exit(1)
+	for _, s := range sections {
+		if s.enabled || *all {
+			any = true
+			plan.Add(s.specs...)
 		}
 	}
-	w := os.Stdout
-	run(*costs, func() error { bench.Costs(w); return nil })
-	run(*table1, func() error { return bench.Table1(w, opts.VariantOpts) })
-	run(*table2, func() error { return bench.Table2(w, opts) })
-	run(*fig5, func() error { return bench.Fig5(w, opts) })
-	run(*fig6, func() error { return bench.Fig6(w, opts) })
-	run(*table3, func() error { return bench.Table3(w, opts) })
-	run(*abl, func() error { return bench.Ablations(w, opts) })
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Phase 2: execute the combined, deduplicated plan in parallel.
+	var rs *runner.ResultSet
+	if plan.Len() > 0 {
+		ropts := runner.Options{Jobs: *jobs}
+		if *progress {
+			ropts.OnProgress = func(done, total int, spec runner.RunSpec) {
+				fmt.Fprintf(os.Stderr, "\rdsmbench: %d/%d runs (last: %s/%s/p%d)\x1b[K", done, total, spec.App, spec.Variant, spec.Procs)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		var err error
+		rs, err = runner.Execute(plan, ropts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Phase 3: render each enabled section from the shared result set.
+	w := os.Stdout
+	for _, s := range sections {
+		if !s.enabled && !*all {
+			continue
+		}
+		if err := s.render(w, rs); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonF && rs != nil {
+		path := *jsonOut
+		if path == "" {
+			path = filepath.Join("results", fmt.Sprintf("dsmbench_%s.json", *size))
+		}
+		if err := writeJSON(path, rs); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dsmbench: wrote %s (%d specs)\n", path, rs.Len())
+	}
+}
+
+func writeJSON(path string, rs *runner.ResultSet) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rs.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

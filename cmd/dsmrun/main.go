@@ -1,10 +1,16 @@
-// Command dsmrun executes one benchmark application under one protocol
-// variant and prints its statistics: execution time, speedup-relevant
+// Command dsmrun executes one benchmark application under one or more
+// protocol variants and prints statistics: execution time, speedup-relevant
 // breakdown, fault and message counts, and Memory Channel traffic.
+//
+// With a single variant it prints the full detailed report; with a
+// comma-separated variant list it runs all of them (plus the shared
+// sequential baseline) through the parallel runner pool and prints a
+// side-by-side comparison.
 //
 // Usage:
 //
 //	dsmrun -app SOR -variant csm_poll -procs 8 [-size small]
+//	dsmrun -app SOR -variant csm_poll,tmk_mc_poll,tmk_udp_int -procs 8
 //	dsmrun -app LU -variant tmk_mc_poll -nodes 4 -ppn 2
 package main
 
@@ -12,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/variants"
 )
@@ -23,53 +32,87 @@ import (
 func main() {
 	var (
 		app     = flag.String("app", "SOR", "application name")
-		variant = flag.String("variant", "csm_poll", "protocol variant or 'sequential'")
+		variant = flag.String("variant", "csm_poll", "comma-separated protocol variants (or 'sequential')")
 		procs   = flag.Int("procs", 0, "total compute processors (uses the paper's node layout)")
 		nodes   = flag.Int("nodes", 1, "nodes (ignored when -procs is set)")
 		ppn     = flag.Int("ppn", 1, "compute processors per node (ignored when -procs is set)")
 		size    = flag.String("size", "default", "dataset size: small or default")
 		seq     = flag.Bool("seq-baseline", true, "also run the sequential baseline and report speedup")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "concurrent simulations (host workers)")
 	)
 	flag.Parse()
-	if err := run(*app, *variant, *procs, *nodes, *ppn, apps.Size(*size), *seq); err != nil {
+	vs := strings.Split(*variant, ",")
+	for i := range vs {
+		vs[i] = strings.TrimSpace(vs[i])
+	}
+	if err := run(*app, vs, *procs, *nodes, *ppn, apps.Size(*size), *seq, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, variant string, procs, nodes, ppn int, size apps.Size, seqBaseline bool) error {
+// specFor builds the run spec for one variant at the requested shape.
+func specFor(app, variant string, procs, nodes, ppn int, size apps.Size) runner.RunSpec {
+	s := runner.RunSpec{App: app, Variant: variant, Size: size}
+	if procs > 0 {
+		s.Procs = procs
+	} else {
+		s.Nodes, s.PPN = nodes, ppn
+	}
+	return s
+}
+
+func run(app string, vs []string, procs, nodes, ppn int, size apps.Size, seqBaseline bool, jobs int) error {
 	entry, err := apps.Get(app)
 	if err != nil {
 		return err
 	}
-	if procs > 0 {
-		l, err := variants.LayoutFor(procs)
+
+	plan := runner.NewPlan()
+	specs := make([]runner.RunSpec, len(vs))
+	for i, v := range vs {
+		specs[i] = specFor(app, v, procs, nodes, ppn, size)
+		plan.Add(specs[i])
+	}
+	needSeq := false
+	seqSpec := runner.RunSpec{App: app, Variant: variants.Sequential, Procs: 1, Size: size}
+	for _, v := range vs {
+		if seqBaseline && v != variants.Sequential {
+			needSeq = true
+		}
+	}
+	if needSeq {
+		plan.Add(seqSpec)
+	}
+
+	rs, err := runner.Execute(plan, runner.Options{Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	var seqRes *core.Result
+	if needSeq {
+		if seqRes, err = rs.Get(seqSpec); err != nil {
+			return fmt.Errorf("sequential baseline: %w", err)
+		}
+	}
+
+	if len(vs) == 1 {
+		res, err := rs.Get(specs[0])
 		if err != nil {
 			return err
 		}
-		nodes, ppn = l.Nodes, l.PerNode
+		return printDetailed(entry, app, vs[0], size, specs[0], res, seqRes)
 	}
-	cfg, err := variants.Config(variant, nodes, ppn, variants.Options{})
-	if err != nil {
-		return err
-	}
-	res, err := core.Run(cfg, entry.New(size))
-	if err != nil {
-		return err
-	}
+	return printComparison(entry, app, vs, size, specs, rs, seqRes)
+}
 
+// printDetailed is the single-variant report.
+func printDetailed(entry apps.Entry, app, variant string, size apps.Size, spec runner.RunSpec, res *core.Result, seqRes *core.Result) error {
+	nodes, ppn := shapeOf(spec, res)
 	fmt.Printf("%s (%s) on %s, %d processors (%dx%d)\n",
 		app, entry.Problem(size), variant, res.Procs, nodes, ppn)
 	fmt.Printf("  execution time: %s\n", fmtTime(res.Time))
-	if seqBaseline && variant != variants.Sequential {
-		seqCfg, err := variants.Config(variants.Sequential, 1, 1, variants.Options{})
-		if err != nil {
-			return err
-		}
-		seqRes, err := core.Run(seqCfg, entry.New(size))
-		if err != nil {
-			return err
-		}
+	if seqRes != nil && variant != variants.Sequential {
 		fmt.Printf("  sequential:     %s  (speedup %.2f)\n",
 			fmtTime(seqRes.Time), float64(seqRes.Time)/float64(res.Time))
 	}
@@ -117,6 +160,78 @@ func run(app, variant string, procs, nodes, ppn int, size apps.Size, seqBaseline
 		fmt.Println()
 	}
 	return nil
+}
+
+// printComparison renders a side-by-side metric table, one column per
+// variant.
+func printComparison(entry apps.Entry, app string, vs []string, size apps.Size, specs []runner.RunSpec, rs *runner.ResultSet, seqRes *core.Result) error {
+	results := make([]*core.Result, len(vs))
+	for i, s := range specs {
+		res, err := rs.Get(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", vs[i], err)
+		}
+		results[i] = res
+	}
+	fmt.Printf("%s (%s), %d processors, size %s\n", app, entry.Problem(size), results[0].Procs, size)
+	if seqRes != nil {
+		fmt.Printf("sequential baseline: %s\n", fmtTime(seqRes.Time))
+	}
+
+	fmt.Printf("%-22s", "metric")
+	for _, v := range vs {
+		fmt.Printf("%16s", v)
+	}
+	fmt.Println()
+	row := func(label string, f func(*core.Result) string) {
+		fmt.Printf("%-22s", label)
+		for _, r := range results {
+			fmt.Printf("%16s", f(r))
+		}
+		fmt.Println()
+	}
+	row("time (ms)", func(r *core.Result) string { return fmt.Sprintf("%.3f", float64(r.Time)/1e6) })
+	if seqRes != nil {
+		row("speedup", func(r *core.Result) string {
+			return fmt.Sprintf("%.2f", float64(seqRes.Time)/float64(r.Time))
+		})
+	}
+	i64 := func(f func(*core.Result) int64) func(*core.Result) string {
+		return func(r *core.Result) string { return fmt.Sprintf("%d", f(r)) }
+	}
+	row("barriers", i64(func(r *core.Result) int64 { return r.Total.Barriers }))
+	row("locks", i64(func(r *core.Result) int64 { return r.Total.LockAcquires }))
+	row("read faults", i64(func(r *core.Result) int64 { return r.Total.ReadFaults }))
+	row("write faults", i64(func(r *core.Result) int64 { return r.Total.WriteFaults }))
+	row("page transfers", i64(func(r *core.Result) int64 { return r.Total.PageTransfers }))
+	row("page copies", i64(func(r *core.Result) int64 { return r.Total.PageCopies }))
+	row("twins", i64(func(r *core.Result) int64 { return r.Total.Twins }))
+	row("diffs created", i64(func(r *core.Result) int64 { return r.Total.DiffsCreated }))
+	row("messages", i64(func(r *core.Result) int64 { return r.Total.Messages }))
+	row("data (KB)", func(r *core.Result) string { return fmt.Sprintf("%.1f", float64(r.Total.DataBytes)/1024) })
+	row("MC traffic (KB)", func(r *core.Result) string {
+		var total int64
+		for _, b := range r.Traffic {
+			total += b
+		}
+		return fmt.Sprintf("%.1f", float64(total)/1024)
+	})
+	return nil
+}
+
+// shapeOf reconstructs the nodes x ppn shape for display.
+func shapeOf(spec runner.RunSpec, res *core.Result) (nodes, ppn int) {
+	spec = spec.Normalize()
+	if spec.Variant == variants.Sequential {
+		return 1, 1
+	}
+	if spec.Nodes > 0 {
+		return spec.Nodes, spec.PPN
+	}
+	if l, err := variants.LayoutFor(res.Procs); err == nil {
+		return l.Nodes, l.PerNode
+	}
+	return res.Procs, 1
 }
 
 func fmtTime(t sim.Time) string {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cashmere"
 	"repro/internal/memchan"
+	"repro/internal/runner"
 )
 
 // Ablations exercises the design choices DESIGN.md calls out:
@@ -21,34 +22,108 @@ import (
 //	    write-doubling working-set problem, §4.3);
 //	(e) doubling writes to a single dummy address (the paper's §4.3
 //	    single-processor diagnostic for LU and Gauss).
-func Ablations(w io.Writer, opts Options) error {
-	opts = opts.defaults()
-	if err := ablationExclusive(w, opts); err != nil {
-		return err
-	}
-	if err := ablationHomes(w, opts); err != nil {
-		return err
-	}
-	if err := ablationSecondGen(w, opts); err != nil {
-		return err
-	}
-	if err := ablationCache(w, opts); err != nil {
-		return err
-	}
-	return ablationDummyDoubling(w, opts)
+//
+// Each ablation derives its modified-model specs with a deterministic
+// option transform, so AblationSpecs and AblationsRender agree on spec
+// identity and the unmodified runs share the cache with Fig 5 / Table 3.
+
+// withCashmere returns opts with the Cashmere ablation knobs replaced.
+func (o Options) withCashmere(c cashmere.Config) Options {
+	o.VariantOpts.Cashmere = c
+	return o
 }
 
-func ablationExclusive(w io.Writer, opts Options) error {
+// withSecondGenMC returns opts projected onto the second-generation Memory
+// Channel.
+func (o Options) withSecondGenMC() Options {
+	mc2 := memchan.SecondGeneration()
+	o.VariantOpts.MC = &mc2
+	return o
+}
+
+// withBigCache returns opts with a 21264-class 256 KB first-level cache.
+func (o Options) withBigCache() Options {
+	big := cache.Alpha21264
+	o.VariantOpts.Cache = &big
+	return o
+}
+
+// AblationSpecs enumerates every run the ablation suite needs.
+func AblationSpecs(opts Options) []runner.RunSpec {
+	opts = opts.defaults()
+	var specs []runner.RunSpec
+	// (a) exclusive mode on/off.
+	for _, app := range []string{"SOR", "Water"} {
+		specs = append(specs,
+			spec(app, "csm_poll", 8, opts),
+			spec(app, "csm_poll", 8, opts.withCashmere(cashmere.Config{DisableExclusive: true})))
+	}
+	// (b) home assignment policy.
+	for _, app := range []string{"SOR", "Em3d"} {
+		specs = append(specs,
+			spec(app, "csm_poll", 8, opts),
+			spec(app, "csm_poll", 8, opts.withCashmere(cashmere.Config{RoundRobinHomes: true})))
+	}
+	// (c) second-generation Memory Channel.
+	for _, app := range []string{"SOR", "LU", "Em3d"} {
+		for _, v := range []string{"csm_poll", "tmk_mc_poll"} {
+			specs = append(specs,
+				spec(app, v, 16, opts),
+				spec(app, v, 16, opts.withSecondGenMC()))
+		}
+	}
+	// (d) first-level cache size.
+	for _, app := range []string{"LU", "Gauss"} {
+		specs = append(specs,
+			spec(app, "csm_poll", 1, opts),
+			spec(app, "csm_poll", 1, opts.withBigCache()))
+	}
+	// (e) dummy doubling diagnostic.
+	for _, app := range []string{"LU", "Gauss"} {
+		specs = append(specs,
+			spec(app, "csm_poll", 1, opts),
+			spec(app, "csm_poll", 1, opts.withCashmere(cashmere.Config{DummyDoubling: true})),
+			spec(app, "tmk_mc_poll", 1, opts))
+	}
+	return specs
+}
+
+// AblationsRender formats all five ablations from an executed result set.
+func AblationsRender(w io.Writer, opts Options, rs *runner.ResultSet) error {
+	opts = opts.defaults()
+	if err := ablationExclusive(w, opts, rs); err != nil {
+		return err
+	}
+	if err := ablationHomes(w, opts, rs); err != nil {
+		return err
+	}
+	if err := ablationSecondGen(w, opts, rs); err != nil {
+		return err
+	}
+	if err := ablationCache(w, opts, rs); err != nil {
+		return err
+	}
+	return ablationDummyDoubling(w, opts, rs)
+}
+
+// Ablations plans, executes, and renders the ablation suite in one call.
+func Ablations(w io.Writer, opts Options) error {
+	rs, err := execute(AblationSpecs(opts))
+	if err != nil {
+		return err
+	}
+	return AblationsRender(w, opts, rs)
+}
+
+func ablationExclusive(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	header(w, "Ablation (a): Cashmere exclusive mode (SOR, Water at 8 processors, csm_poll)")
 	fmt.Fprintf(w, "%-8s %14s %14s %16s %16s\n", "App", "on (s)", "off (s)", "wfaults on", "wfaults off")
 	for _, app := range []string{"SOR", "Water"} {
-		on, err := runApp(app, "csm_poll", 8, opts.Size, opts.VariantOpts)
+		on, err := rs.Get(spec(app, "csm_poll", 8, opts))
 		if err != nil {
 			return err
 		}
-		vo := opts.VariantOpts
-		vo.Cashmere = cashmere.Config{DisableExclusive: true}
-		off, err := runApp(app, "csm_poll", 8, opts.Size, vo)
+		off, err := rs.Get(spec(app, "csm_poll", 8, opts.withCashmere(cashmere.Config{DisableExclusive: true})))
 		if err != nil {
 			return err
 		}
@@ -58,17 +133,15 @@ func ablationExclusive(w io.Writer, opts Options) error {
 	return nil
 }
 
-func ablationHomes(w io.Writer, opts Options) error {
+func ablationHomes(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	header(w, "Ablation (b): home assignment policy (8 processors, csm_poll)")
 	fmt.Fprintf(w, "%-8s %16s %18s %16s %18s\n", "App", "first-touch (s)", "round-robin (s)", "xfers ft", "xfers rr")
 	for _, app := range []string{"SOR", "Em3d"} {
-		ft, err := runApp(app, "csm_poll", 8, opts.Size, opts.VariantOpts)
+		ft, err := rs.Get(spec(app, "csm_poll", 8, opts))
 		if err != nil {
 			return err
 		}
-		vo := opts.VariantOpts
-		vo.Cashmere = cashmere.Config{RoundRobinHomes: true}
-		rr, err := runApp(app, "csm_poll", 8, opts.Size, vo)
+		rr, err := rs.Get(spec(app, "csm_poll", 8, opts.withCashmere(cashmere.Config{RoundRobinHomes: true})))
 		if err != nil {
 			return err
 		}
@@ -78,19 +151,16 @@ func ablationHomes(w io.Writer, opts Options) error {
 	return nil
 }
 
-func ablationSecondGen(w io.Writer, opts Options) error {
+func ablationSecondGen(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	header(w, "Ablation (c): second-generation Memory Channel (16 processors; half latency, 10x bandwidth)")
 	fmt.Fprintf(w, "%-8s %-14s %12s %12s %10s\n", "App", "Variant", "MC1 (s)", "MC2 (s)", "gain")
-	mc2 := memchan.SecondGeneration()
 	for _, app := range []string{"SOR", "LU", "Em3d"} {
 		for _, v := range []string{"csm_poll", "tmk_mc_poll"} {
-			r1, err := runApp(app, v, 16, opts.Size, opts.VariantOpts)
+			r1, err := rs.Get(spec(app, v, 16, opts))
 			if err != nil {
 				return err
 			}
-			vo := opts.VariantOpts
-			vo.MC = &mc2
-			r2, err := runApp(app, v, 16, opts.Size, vo)
+			r2, err := rs.Get(spec(app, v, 16, opts.withSecondGenMC()))
 			if err != nil {
 				return err
 			}
@@ -101,18 +171,15 @@ func ablationSecondGen(w io.Writer, opts Options) error {
 	return nil
 }
 
-func ablationCache(w io.Writer, opts Options) error {
+func ablationCache(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	header(w, "Ablation (d): first-level cache size (LU, Gauss on 1 processor, csm_poll)")
 	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "App", "16KB (s)", "256KB (s)", "gain")
-	big := cache.Alpha21264
 	for _, app := range []string{"LU", "Gauss"} {
-		small, err := runApp(app, "csm_poll", 1, opts.Size, opts.VariantOpts)
+		small, err := rs.Get(spec(app, "csm_poll", 1, opts))
 		if err != nil {
 			return err
 		}
-		vo := opts.VariantOpts
-		vo.Cache = &big
-		large, err := runApp(app, "csm_poll", 1, opts.Size, vo)
+		large, err := rs.Get(spec(app, "csm_poll", 1, opts.withBigCache()))
 		if err != nil {
 			return err
 		}
@@ -122,21 +189,19 @@ func ablationCache(w io.Writer, opts Options) error {
 	return nil
 }
 
-func ablationDummyDoubling(w io.Writer, opts Options) error {
+func ablationDummyDoubling(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	header(w, "Ablation (e): doubling to a dummy address (LU, Gauss on 1 processor, §4.3 diagnostic)")
 	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "App", "csm (s)", "dummy (s)", "tmk (s)")
 	for _, app := range []string{"LU", "Gauss"} {
-		csm, err := runApp(app, "csm_poll", 1, opts.Size, opts.VariantOpts)
+		csm, err := rs.Get(spec(app, "csm_poll", 1, opts))
 		if err != nil {
 			return err
 		}
-		vo := opts.VariantOpts
-		vo.Cashmere = cashmere.Config{DummyDoubling: true}
-		dummy, err := runApp(app, "csm_poll", 1, opts.Size, vo)
+		dummy, err := rs.Get(spec(app, "csm_poll", 1, opts.withCashmere(cashmere.Config{DummyDoubling: true})))
 		if err != nil {
 			return err
 		}
-		tmk, err := runApp(app, "tmk_mc_poll", 1, opts.Size, opts.VariantOpts)
+		tmk, err := rs.Get(spec(app, "tmk_mc_poll", 1, opts))
 		if err != nil {
 			return err
 		}

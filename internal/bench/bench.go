@@ -5,6 +5,14 @@
 // in the paper's layout; absolute values come from the simulation's cost
 // model, so shapes — who wins, by what factor, where crossovers fall — are
 // the reproduction target, not exact numbers.
+//
+// Every table and figure is a pure two-phase function: XxxSpecs(opts)
+// enumerates the runs it needs as runner.RunSpecs, and XxxRender(w, opts,
+// rs) formats a ResultSet that contains them. The one-shot Xxx(w, opts)
+// wrappers plan, execute (parallel, cached), and render; callers that draw
+// several tables from one sweep build a combined plan instead and render
+// each section from the shared ResultSet, so overlapping configurations
+// (e.g. the sequential baseline) are simulated once.
 package bench
 
 import (
@@ -12,7 +20,7 @@ import (
 	"io"
 
 	"repro/internal/apps"
-	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/variants"
 )
@@ -50,33 +58,18 @@ func (o Options) defaults() Options {
 	return o
 }
 
-// runApp executes one application under one variant and processor count.
-func runApp(name, variant string, procs int, size apps.Size, vo variants.Options) (*core.Result, error) {
-	entry, err := apps.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	var nodes, ppn int
-	if variant == variants.Sequential {
-		nodes, ppn = 1, 1
-	} else {
-		l, err := variants.LayoutFor(procs)
-		if err != nil {
-			return nil, err
-		}
-		if !variants.Feasible(variant, l) {
-			return nil, errInfeasible
-		}
-		nodes, ppn = l.Nodes, l.PerNode
-	}
-	cfg, err := variants.Config(variant, nodes, ppn, vo)
-	if err != nil {
-		return nil, err
-	}
-	return core.Run(cfg, entry.New(size))
+// spec builds the RunSpec for one application cell of a table.
+func spec(app, variant string, procs int, opts Options) runner.RunSpec {
+	return runner.RunSpec{App: app, Variant: variant, Procs: procs, Size: opts.Size, Opts: opts.VariantOpts}
 }
 
-var errInfeasible = fmt.Errorf("bench: variant infeasible at this layout")
+// execute plans and runs a spec list with default runner options (all host
+// cores, process-wide cache).
+func execute(specs []runner.RunSpec) (*runner.ResultSet, error) {
+	plan := runner.NewPlan()
+	plan.Add(specs...)
+	return runner.Execute(plan, runner.Options{})
+}
 
 // us renders virtual nanoseconds as microseconds.
 func us(t sim.Time) float64 { return float64(t) / 1000 }

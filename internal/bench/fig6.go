@@ -5,26 +5,34 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
-// Fig6 reproduces the paper's Figure 6: a breakdown of execution time for
-// the polling versions of Cashmere and TreadMarks (Barnes at 16 processors,
-// the others at 32), normalized to Cashmere's total execution time per
-// application. Components: User, Protocol, Polling overhead, Write doubling
-// (Cashmere only), and Comm & Wait.
-func Fig6(w io.Writer, opts Options) error {
+// Fig6Specs enumerates Figure 6's runs. They are identical to Table 3's —
+// the breakdown and the statistics table come from the same simulations —
+// so combined plans simulate them once.
+func Fig6Specs(opts Options) []runner.RunSpec {
+	return Table3Specs(opts)
+}
+
+// Fig6Render reproduces the paper's Figure 6: a breakdown of execution time
+// for the polling versions of Cashmere and TreadMarks (Barnes at 16
+// processors, the others at 32), normalized to Cashmere's total execution
+// time per application. Components: User, Protocol, Polling overhead, Write
+// doubling (Cashmere only), and Comm & Wait.
+func Fig6Render(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	opts = opts.defaults()
 	header(w, "Figure 6: Normalized execution-time breakdown, polling versions (Barnes at 16, others at 32)")
 	fmt.Fprintf(w, "%-8s %-4s %8s %8s %10s %10s %10s %10s %10s\n",
 		"App", "Sys", "Total", "Norm", "User%", "Protocol%", "Polling%", "Doubling%", "Comm&Wait%")
 	for _, app := range opts.Apps {
 		procs := table3Procs(app)
-		csm, err := runApp(app, "csm_poll", procs, opts.Size, opts.VariantOpts)
+		csm, err := rs.Get(spec(app, "csm_poll", procs, opts))
 		if err != nil {
 			return fmt.Errorf("%s csm_poll: %w", app, err)
 		}
-		tmk, err := runApp(app, "tmk_mc_poll", procs, opts.Size, opts.VariantOpts)
+		tmk, err := rs.Get(spec(app, "tmk_mc_poll", procs, opts))
 		if err != nil {
 			return fmt.Errorf("%s tmk_mc_poll: %w", app, err)
 		}
@@ -33,6 +41,15 @@ func Fig6(w io.Writer, opts Options) error {
 		printBreakdown(w, app, "TMK", tmk, base)
 	}
 	return nil
+}
+
+// Fig6 plans, executes, and renders Figure 6 in one call.
+func Fig6(w io.Writer, opts Options) error {
+	rs, err := execute(Fig6Specs(opts))
+	if err != nil {
+		return err
+	}
+	return Fig6Render(w, opts, rs)
 }
 
 func printBreakdown(w io.Writer, app, sys string, res *core.Result, normBase float64) {

@@ -4,18 +4,54 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/variants"
 	"repro/internal/vm"
 )
 
-// Table1 reproduces the paper's Table 1: the minimum cost of page transfers
-// and user-level synchronization operations for the six protocol
+// Microbenchmark program names registered with the runner, so Table 1's
+// measurements flow through the same plan/execute/cache machinery as the
+// application runs.
+const (
+	microLock    = "micro:lock"
+	microBarrier = "micro:barrier"
+	microPage    = "micro:page"
+)
+
+func init() {
+	runner.RegisterProgram(microLock, func(apps.Size) *core.Program { return lockProgram() })
+	runner.RegisterProgram(microBarrier, func(apps.Size) *core.Program { return barrierProgram() })
+	runner.RegisterProgram(microPage, func(apps.Size) *core.Program { return pageProgram() })
+}
+
+// microSpec builds the RunSpec for one microbenchmark measurement.
+func microSpec(prog, variant string, procs int, vo variants.Options) runner.RunSpec {
+	return runner.RunSpec{App: prog, Variant: variant, Procs: procs, Size: apps.SizeSmall, Opts: vo}
+}
+
+// Table1Specs enumerates Table 1's measurements: lock acquire, barrier at 2
+// and at 16 processors, and page transfer, for every protocol variant.
+func Table1Specs(vo variants.Options) []runner.RunSpec {
+	var specs []runner.RunSpec
+	for _, v := range variants.Names {
+		specs = append(specs,
+			microSpec(microLock, v, 2, vo),
+			microSpec(microBarrier, v, 2, vo),
+			microSpec(microBarrier, v, 16, vo),
+			microSpec(microPage, v, 2, vo))
+	}
+	return specs
+}
+
+// Table1Render reproduces the paper's Table 1: the minimum cost of page
+// transfers and user-level synchronization operations for the six protocol
 // implementations. Lock acquire and page transfer are measured between two
 // processors on separate nodes; barrier costs are measured at 2 and at 16
 // processors (the parenthesized figures in the paper).
-func Table1(w io.Writer, vo variants.Options) error {
+func Table1Render(w io.Writer, vo variants.Options, rs *runner.ResultSet) error {
 	type row struct {
 		lockAcq  float64
 		barrier2 float64
@@ -24,19 +60,19 @@ func Table1(w io.Writer, vo variants.Options) error {
 	}
 	rows := map[string]row{}
 	for _, v := range variants.Names {
-		la, err := measureLock(v, vo)
+		la, err := microCheck(rs, microSpec(microLock, v, 2, vo))
 		if err != nil {
 			return fmt.Errorf("lock acquire on %s: %w", v, err)
 		}
-		b2, err := measureBarrier(v, 2, vo)
+		b2, err := microCheck(rs, microSpec(microBarrier, v, 2, vo))
 		if err != nil {
 			return fmt.Errorf("barrier(2) on %s: %w", v, err)
 		}
-		b16, err := measureBarrier(v, 16, vo)
+		b16, err := microCheck(rs, microSpec(microBarrier, v, 16, vo))
 		if err != nil {
 			return fmt.Errorf("barrier(16) on %s: %w", v, err)
 		}
-		px, err := measurePageTransfer(v, vo)
+		px, err := microCheck(rs, microSpec(microPage, v, 2, vo))
 		if err != nil {
 			return fmt.Errorf("page transfer on %s: %w", v, err)
 		}
@@ -66,13 +102,22 @@ func Table1(w io.Writer, vo variants.Options) error {
 	return nil
 }
 
-// measureLock times an uncontended lock acquire by a processor that is not
+// Table1 plans, executes, and renders Table 1 in one call.
+func Table1(w io.Writer, vo variants.Options) error {
+	rs, err := execute(Table1Specs(vo))
+	if err != nil {
+		return err
+	}
+	return Table1Render(w, vo, rs)
+}
+
+// lockProgram times an uncontended lock acquire by a processor that is not
 // the lock's last owner (the remote-acquire path).
-func measureLock(variant string, vo variants.Options) (float64, error) {
+func lockProgram() *core.Program {
 	const iters = 20
 	l := core.NewLayout()
 	l.Alloc(vm.PageSize, vm.PageSize) // nonempty shared segment
-	prog := &core.Program{
+	return &core.Program{
 		Name:        "bench-lock",
 		SharedBytes: l.Size(),
 		Locks:       1,
@@ -96,22 +141,14 @@ func measureLock(variant string, vo variants.Options) (float64, error) {
 			}
 		},
 	}
-	return runMicro(variant, 2, 1, prog, vo)
 }
 
-// measureBarrier times a barrier crossed by all processors.
-func measureBarrier(variant string, procs int, vo variants.Options) (float64, error) {
+// barrierProgram times a barrier crossed by all processors.
+func barrierProgram() *core.Program {
 	const iters = 20
-	layout, err := variants.LayoutFor(procs)
-	if err != nil {
-		return 0, err
-	}
-	if !variants.Feasible(variant, layout) {
-		layout, _ = variants.LayoutFor(procs) // csm_pp is feasible at 2 and 16
-	}
 	l := core.NewLayout()
 	l.Alloc(vm.PageSize, vm.PageSize)
-	prog := &core.Program{
+	return &core.Program{
 		Name:        "bench-barrier",
 		SharedBytes: l.Size(),
 		Barriers:    1,
@@ -128,19 +165,18 @@ func measureBarrier(variant string, procs int, vo variants.Options) (float64, er
 			}
 		},
 	}
-	return runMicro(variant, layout.Nodes, layout.PerNode, prog, vo)
 }
 
-// measurePageTransfer times the fault servicing a first remote read of a
-// page dirtied by a processor on another node.
-func measurePageTransfer(variant string, vo variants.Options) (float64, error) {
+// pageProgram times the fault servicing a first remote read of a page
+// dirtied by a processor on another node.
+func pageProgram() *core.Program {
 	const pages = 16
 	l := core.NewLayout()
 	arrs := make([]core.F64Array, pages)
 	for i := range arrs {
 		arrs[i] = l.F64Pages(vm.PageSize / 8)
 	}
-	prog := &core.Program{
+	return &core.Program{
 		Name:        "bench-page",
 		SharedBytes: l.Size(),
 		Barriers:    2,
@@ -166,21 +202,43 @@ func measurePageTransfer(variant string, vo variants.Options) (float64, error) {
 			p.Finish()
 		},
 	}
-	return runMicro(variant, 2, 1, prog, vo)
 }
 
-func runMicro(variant string, nodes, ppn int, prog *core.Program, vo variants.Options) (float64, error) {
-	cfg, err := variants.Config(variant, nodes, ppn, vo)
-	if err != nil {
-		return 0, err
-	}
-	res, err := core.Run(cfg, prog)
+// microCheck extracts a microbenchmark's reported measurement from a result
+// set.
+func microCheck(rs *runner.ResultSet, s runner.RunSpec) (float64, error) {
+	res, err := rs.Get(s)
 	if err != nil {
 		return 0, err
 	}
 	v, ok := res.Checks["us"]
 	if !ok {
-		return 0, fmt.Errorf("bench: %s reported no measurement", prog.Name)
+		return 0, fmt.Errorf("bench: %s reported no measurement", res.Program)
 	}
 	return v, nil
+}
+
+// runMicro executes one microbenchmark spec on its own (used by the
+// measure* helpers and tests).
+func runMicro(s runner.RunSpec) (float64, error) {
+	rs, err := execute([]runner.RunSpec{s})
+	if err != nil {
+		return 0, err
+	}
+	return microCheck(rs, s)
+}
+
+// measureLock times the remote lock-acquire path under one variant.
+func measureLock(variant string, vo variants.Options) (float64, error) {
+	return runMicro(microSpec(microLock, variant, 2, vo))
+}
+
+// measureBarrier times a barrier crossed by all processors.
+func measureBarrier(variant string, procs int, vo variants.Options) (float64, error) {
+	return runMicro(microSpec(microBarrier, variant, procs, vo))
+}
+
+// measurePageTransfer times the first remote read of a dirty page.
+func measurePageTransfer(variant string, vo variants.Options) (float64, error) {
+	return runMicro(microSpec(microPage, variant, 2, vo))
 }

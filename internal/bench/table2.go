@@ -5,13 +5,26 @@ import (
 	"io"
 
 	"repro/internal/apps"
+	"repro/internal/runner"
 	"repro/internal/variants"
 )
 
-// Table2 reproduces the paper's Table 2: data set sizes and sequential
+// Table2Specs enumerates Table 2's runs: the sequential baseline of every
+// application. These are the same specs Figure 5 and the ablations key
+// their baselines on, so a combined plan simulates each exactly once.
+func Table2Specs(opts Options) []runner.RunSpec {
+	opts = opts.defaults()
+	var specs []runner.RunSpec
+	for _, name := range opts.Apps {
+		specs = append(specs, spec(name, variants.Sequential, 1, opts))
+	}
+	return specs
+}
+
+// Table2Render reproduces the paper's Table 2: data set sizes and sequential
 // execution time of each application, measured without linking to either
 // protocol (the NullProtocol baseline).
-func Table2(w io.Writer, opts Options) error {
+func Table2Render(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	opts = opts.defaults()
 	header(w, "Table 2: Data set sizes and sequential execution time")
 	fmt.Fprintf(w, "%-8s  %-34s %14s %12s\n", "Program", "Problem Size", "Shared (MB)", "Time (s)")
@@ -20,7 +33,7 @@ func Table2(w io.Writer, opts Options) error {
 		if err != nil {
 			return err
 		}
-		res, err := runApp(name, variants.Sequential, 1, opts.Size, opts.VariantOpts)
+		res, err := rs.Get(spec(name, variants.Sequential, 1, opts))
 		if err != nil {
 			return fmt.Errorf("%s sequential: %w", name, err)
 		}
@@ -30,4 +43,13 @@ func Table2(w io.Writer, opts Options) error {
 			float64(prog.SharedBytes)/(1<<20), seconds(res.Time))
 	}
 	return nil
+}
+
+// Table2 plans, executes, and renders Table 2 in one call.
+func Table2(w io.Writer, opts Options) error {
+	rs, err := execute(Table2Specs(opts))
+	if err != nil {
+		return err
+	}
+	return Table2Render(w, opts, rs)
 }

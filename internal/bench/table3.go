@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // table3Procs returns the paper's Table 3 processor count for an
@@ -17,20 +18,36 @@ func table3Procs(app string) int {
 	return 32
 }
 
-// Table3 reproduces the paper's Table 3: detailed statistics for the polling
-// versions of Cashmere and TreadMarks, aggregated over all processors.
-func Table3(w io.Writer, opts Options) error {
+// Table3Specs enumerates Table 3's runs: the two polling variants at the
+// paper's breakdown configuration for every application. Figure 6 draws
+// from the same runs, so a combined plan simulates them once.
+func Table3Specs(opts Options) []runner.RunSpec {
+	opts = opts.defaults()
+	var specs []runner.RunSpec
+	for _, name := range opts.Apps {
+		procs := table3Procs(name)
+		specs = append(specs,
+			spec(name, "csm_poll", procs, opts),
+			spec(name, "tmk_mc_poll", procs, opts))
+	}
+	return specs
+}
+
+// Table3Render reproduces the paper's Table 3: detailed statistics for the
+// polling versions of Cashmere and TreadMarks, aggregated over all
+// processors.
+func Table3Render(w io.Writer, opts Options, rs *runner.ResultSet) error {
 	opts = opts.defaults()
 	csm := map[string]*core.Result{}
 	tmk := map[string]*core.Result{}
 	for _, name := range opts.Apps {
 		procs := table3Procs(name)
-		r, err := runApp(name, "csm_poll", procs, opts.Size, opts.VariantOpts)
+		r, err := rs.Get(spec(name, "csm_poll", procs, opts))
 		if err != nil {
 			return fmt.Errorf("%s csm_poll: %w", name, err)
 		}
 		csm[name] = r
-		r, err = runApp(name, "tmk_mc_poll", procs, opts.Size, opts.VariantOpts)
+		r, err = rs.Get(spec(name, "tmk_mc_poll", procs, opts))
 		if err != nil {
 			return fmt.Errorf("%s tmk_mc_poll: %w", name, err)
 		}
@@ -70,4 +87,13 @@ func Table3(w io.Writer, opts Options) error {
 	prow("  Messages", func(r *core.Result) string { return i(r.Total.Messages) }, tmk)
 	prow("  Data (Kbytes)", func(r *core.Result) string { return fmt.Sprintf("%.0f", float64(r.Total.DataBytes)/1024) }, tmk)
 	return nil
+}
+
+// Table3 plans, executes, and renders Table 3 in one call.
+func Table3(w io.Writer, opts Options) error {
+	rs, err := execute(Table3Specs(opts))
+	if err != nil {
+		return err
+	}
+	return Table3Render(w, opts, rs)
 }

@@ -360,7 +360,7 @@ func (rt *Runtime) result() *Result {
 			res.Time = st.FinishedAt
 		}
 	}
-	for tc := memchan.TrafficDoubling; tc.String() != "unknown"; tc++ {
+	for tc := memchan.TrafficClass(0); tc < memchan.NumTrafficClasses; tc++ {
 		res.Traffic[tc.String()] = rt.net.TrafficBytes(tc)
 	}
 	return res

@@ -111,7 +111,10 @@ const (
 	TrafficSync
 	// TrafficMessage is request/response message traffic.
 	TrafficMessage
-	numTrafficClasses
+	// NumTrafficClasses is the number of traffic classes; valid classes are
+	// TrafficClass(0) through NumTrafficClasses-1, so callers can iterate
+	// without probing String() for a sentinel.
+	NumTrafficClasses
 )
 
 func (tc TrafficClass) String() string {
@@ -143,7 +146,7 @@ type Net struct {
 	// pipe[p] is the write-through pipe state for processor p.
 	pipe []pipeState
 
-	bytesByClass [numTrafficClasses]int64
+	bytesByClass [NumTrafficClasses]int64
 	writesIssued int64
 	transfers    int64
 	interrupts   int64

@@ -52,7 +52,7 @@ func TestSecondGenerationScaling(t *testing.T) {
 func TestTrafficClassString(t *testing.T) {
 	for tc, want := range map[TrafficClass]string{
 		TrafficDoubling: "doubling", TrafficPage: "page", TrafficMeta: "meta",
-		TrafficSync: "sync", TrafficMessage: "message", numTrafficClasses: "unknown",
+		TrafficSync: "sync", TrafficMessage: "message", NumTrafficClasses: "unknown",
 	} {
 		if got := tc.String(); got != want {
 			t.Errorf("TrafficClass(%d).String() = %q, want %q", tc, got, want)

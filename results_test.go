@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/runner"
+	"repro/internal/variants"
+)
+
+// TestCommittedResultsFile consumes the machine-readable results emitted by
+// `dsmbench -json` (committed under results/): the schema must parse, every
+// feasible spec must carry a full result, and — because simulations are
+// bit-deterministic — re-running a spec from the file must reproduce its
+// recorded virtual time exactly.
+func TestCommittedResultsFile(t *testing.T) {
+	f, err := os.Open("results/dsmbench_small_subset.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := runner.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != runner.SchemaVersion {
+		t.Fatalf("schema %q, want %q", doc.Schema, runner.SchemaVersion)
+	}
+	if len(doc.Results) == 0 {
+		t.Fatal("no results in committed file")
+	}
+	var seqTime int64
+	for _, r := range doc.Results {
+		if r.Key == "" {
+			t.Fatal("result with empty key")
+		}
+		if r.Infeasible || r.Error != "" {
+			continue
+		}
+		if r.Result == nil || r.Result.Time <= 0 {
+			t.Fatalf("feasible spec %s lacks a usable result", r.Key)
+		}
+		if r.Spec.App == "SOR" && r.Spec.Variant == variants.Sequential && r.Spec.Size == apps.SizeSmall {
+			seqTime = int64(r.Result.Time)
+		}
+	}
+	if seqTime == 0 {
+		t.Fatal("committed file lacks the SOR sequential baseline")
+	}
+
+	// Reproduce the baseline from the file's spec and compare times: the
+	// committed trajectory stays valid as long as the model is unchanged.
+	plan := runner.NewPlan()
+	spec := runner.RunSpec{App: "SOR", Variant: variants.Sequential, Size: apps.SizeSmall}
+	plan.Add(spec)
+	rs, err := runner.Execute(plan, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rs.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.Time) != seqTime {
+		t.Fatalf("SOR sequential time %d differs from committed %d — regenerate results/dsmbench_small_subset.json (model changed?)", res.Time, seqTime)
+	}
+}
