@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -49,9 +50,41 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "concurrent simulations (host workers)")
 		jsonF    = flag.Bool("json", false, "write the full result set as JSON (see -json-out)")
 		jsonOut  = flag.String("json-out", "", "path for -json output (default results/dsmbench_<size>.json)")
-		progress = flag.Bool("progress", true, "print a progress line to stderr while executing")
+		progress   = flag.Bool("progress", true, "print a progress line to stderr while executing")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit (pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dsmbench:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	opts := bench.Options{Size: apps.Size(*size)}
 	if *appsF != "" {

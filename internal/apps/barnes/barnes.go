@@ -293,11 +293,13 @@ func New(c Config) *core.Program {
 			}
 			p.Finish()
 			if me == 0 {
+				// Post-Finish verification sweep: one bulk read of the
+				// position array, summed in the original element order.
 				sum := 0.0
-				for b := 0; b < n; b++ {
-					for d := 0; d < 3; d++ {
-						sum += math.Abs(pos.At(p, 3*b+d))
-					}
+				pbuf := make([]float64, 3*n)
+				p.ReadF64Range(pos.Addr(0), pbuf)
+				for _, v := range pbuf {
+					sum += math.Abs(v)
 				}
 				p.ReportCheck("positions", sum)
 			}

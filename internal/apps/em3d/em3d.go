@@ -116,9 +116,15 @@ func New(c Config) *core.Program {
 			}
 			p.Finish()
 			if p.Rank() == 0 {
+				// Post-Finish verification sweep: bulk-read both field
+				// arrays, then sum in the original interleaved order.
 				sum := 0.0
+				ebuf := make([]float64, n)
+				hbuf := make([]float64, n)
+				p.ReadF64Range(eval.Addr(0), ebuf)
+				p.ReadF64Range(hval.Addr(0), hbuf)
 				for i := 0; i < n; i++ {
-					sum += eval.At(p, i) + hval.At(p, i)
+					sum += ebuf[i] + hbuf[i]
 				}
 				p.ReportCheck("field", sum)
 			}

@@ -100,9 +100,12 @@ func New(c Config) *core.Program {
 			}
 			p.Finish()
 			if me == 0 {
+				// Post-Finish verification: bulk read, original sum order.
 				sum := 0.0
-				for i := 0; i < c.Elems; i++ {
-					sum += arr.At(p, i)
+				abuf := make([]float64, c.Elems)
+				p.ReadF64Range(arr.Addr(0), abuf)
+				for _, v := range abuf {
+					sum += v
 				}
 				var csum int64
 				for k := 0; k < c.Locks; k++ {

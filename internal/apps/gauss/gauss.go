@@ -115,11 +115,17 @@ func New(c Config) *core.Program {
 			p.Finish()
 			if me == 0 {
 				// Back-substitution (sequential) and residual-free checksum.
+				// Post-Finish: each row's trailing segment is read in one
+				// bulk run (same element order as the scalar loop, so x is
+				// bit-identical).
 				x := make([]float64, n)
+				buf := make([]float64, n)
 				for i := n - 1; i >= 0; i-- {
 					s := rows[i].At(p, n)
+					seg := buf[:n-1-i]
+					p.ReadF64Range(rows[i].Addr(i+1), seg)
 					for j := i + 1; j < n; j++ {
-						s -= rows[i].At(p, j) * x[j]
+						s -= seg[j-i-1] * x[j]
 					}
 					x[i] = s / rows[i].At(p, i)
 				}

@@ -171,12 +171,16 @@ func New(c Config) *core.Program {
 			}
 			p.Finish()
 			if me == 0 {
+				// Post-Finish verification sweep over the block-contiguous
+				// storage: one bulk read per block, summed in the same
+				// element order as the scalar loop.
 				sum := 0.0
+				buf := make([]float64, bb)
 				for I := 0; I < nb; I++ {
 					for J := 0; J < nb; J++ {
-						a := blk(I, J)
-						for e := 0; e < bb; e++ {
-							sum += a.At(p, e)
+						p.ReadF64Range(blk(I, J).Addr(0), buf)
+						for _, v := range buf {
+							sum += v
 						}
 					}
 				}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apps/apptest"
 	"repro/internal/core"
+	"repro/internal/variants"
 )
 
 func TestCrossProtocolAgreement(t *testing.T) {
@@ -49,5 +50,21 @@ func TestBoundaryStaysFixed(t *testing.T) {
 	}
 	if sum >= float64(Small().Rows*Small().Cols) {
 		t.Errorf("checksum %v exceeds physical bound", sum)
+	}
+}
+
+// BenchmarkSORSmallSequential measures a full small SOR run under the
+// sequential variant. The red-black stencil inner loop dominates, so this
+// tracks the end-to-end cost of the shared-access hot path (translation
+// caching, cache model, checkpointing) as seen by an application.
+func BenchmarkSORSmallSequential(b *testing.B) {
+	cfg, err := variants.Config(variants.Sequential, 1, 1, variants.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, New(Small())); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -161,13 +161,18 @@ func New(c Config) *core.Program {
 			if me == 0 {
 				// Kinetic-energy-style checksum; force merge order varies
 				// with lock timing, so validation uses a tolerance.
+				// Post-Finish: bulk-read both arrays, accumulate in the
+				// original interleaved order.
 				e := 0.0
+				vbuf := make([]float64, 3*n)
+				pbuf := make([]float64, 3*n)
+				p.ReadF64Range(vel.Addr(0), vbuf)
+				p.ReadF64Range(pos.Addr(0), pbuf)
 				for m := 0; m < n; m++ {
 					for d := 0; d < 3; d++ {
-						v := vel.At(p, 3*m+d)
+						v := vbuf[3*m+d]
 						e += v * v
-						x := pos.At(p, 3*m+d)
-						e += math.Abs(x)
+						e += math.Abs(pbuf[3*m+d])
 					}
 				}
 				p.ReportCheck("energy", e)

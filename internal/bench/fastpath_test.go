@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/variants"
+)
+
+// fastpathMatrix is a representative spec matrix for the fast-path
+// equivalence check: every sharing pattern family (stencil, blocked dense,
+// broadcast pivot, graph, migratory), both protocol families under both
+// notification mechanisms, the sequential baseline, and processor counts
+// spanning single-node and multi-node layouts.
+func fastpathMatrix() []runner.RunSpec {
+	small := apps.SizeSmall
+	return []runner.RunSpec{
+		{App: "SOR", Variant: variants.Sequential, Procs: 1, Size: small},
+		{App: "SOR", Variant: "csm_poll", Procs: 4, Size: small},
+		{App: "SOR", Variant: "tmk_mc_poll", Procs: 8, Size: small},
+		{App: "LU", Variant: "csm_int", Procs: 4, Size: small},
+		{App: "Gauss", Variant: "csm_poll", Procs: 8, Size: small},
+		{App: "Em3d", Variant: "tmk_udp_int", Procs: 4, Size: small},
+		{App: "Water", Variant: "csm_poll", Procs: 8, Size: small},
+		{App: "Water", Variant: "tmk_mc_int", Procs: 4, Size: small},
+	}
+}
+
+// TestFastPathJSONEquivalence executes the matrix with the simulator's fast
+// paths disabled (SIM_NO_FASTPATH=1) and enabled, and requires the two JSON
+// result sets to be byte-identical: every simulated time, statistic, and
+// checksum must be unchanged by yield elision, direct handoff, translation
+// caching, and the bulk accessors.
+func TestFastPathJSONEquivalence(t *testing.T) {
+	execute := func() []byte {
+		t.Helper()
+		// The process-wide memo cache would otherwise serve results computed
+		// under the other setting.
+		runner.ResetCache()
+		plan := runner.NewPlan()
+		plan.Add(fastpathMatrix()...)
+		rs, err := runner.Execute(plan, runner.Options{Jobs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	t.Setenv(sim.NoFastPathEnv, "1")
+	if sim.FastPathEnabled() {
+		t.Fatal("SIM_NO_FASTPATH=1 did not disable the fast paths")
+	}
+	slow := execute()
+
+	t.Setenv(sim.NoFastPathEnv, "")
+	if !sim.FastPathEnabled() {
+		t.Fatal("fast paths still disabled after clearing SIM_NO_FASTPATH")
+	}
+	fast := execute()
+
+	// Leave no entries computed under a test-controlled environment behind.
+	defer runner.ResetCache()
+
+	if !bytes.Equal(slow, fast) {
+		sl, fl := bytes.Split(slow, []byte("\n")), bytes.Split(fast, []byte("\n"))
+		for i := 0; i < len(sl) && i < len(fl); i++ {
+			if !bytes.Equal(sl[i], fl[i]) {
+				t.Fatalf("fast-path JSON diverges at line %d:\n  slow: %s\n  fast: %s", i+1, sl[i], fl[i])
+			}
+		}
+		t.Fatalf("fast-path JSON diverges in length: slow %d bytes, fast %d bytes", len(slow), len(fast))
+	}
+}

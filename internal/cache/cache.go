@@ -47,6 +47,7 @@ type L1 struct {
 	cfg       Config
 	lineShift uint
 	indexMask uint64
+	tagShift  uint     // bits of line number consumed by the index
 	tags      []uint64 // tag+1; 0 means invalid
 
 	hits   uint64
@@ -63,6 +64,7 @@ func New(cfg Config) (*L1, error) {
 		c.lineShift++
 	}
 	c.indexMask = uint64(cfg.Lines() - 1)
+	c.tagShift = uint(len64(c.indexMask))
 	return c, nil
 }
 
@@ -84,7 +86,7 @@ func (c *L1) Config() Config { return c.cfg }
 func (c *L1) Access(addr uint64) bool {
 	line := addr >> c.lineShift
 	idx := line & c.indexMask
-	tag := line>>uint(len64(c.indexMask)) + 1
+	tag := line>>c.tagShift + 1
 	if c.tags[idx] == tag {
 		c.hits++
 		return true
@@ -100,7 +102,7 @@ func (c *L1) Access(addr uint64) bool {
 func (c *L1) Invalidate(addr uint64) {
 	line := addr >> c.lineShift
 	idx := line & c.indexMask
-	tag := line>>uint(len64(c.indexMask)) + 1
+	tag := line>>c.tagShift + 1
 	if c.tags[idx] == tag {
 		c.tags[idx] = 0
 	}

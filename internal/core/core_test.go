@@ -406,3 +406,29 @@ func BenchmarkSharedAccess(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkSharedReadRange measures the bulk read accessor; one op covers a
+// 1024-element (one-page) run, so compare per-element cost against
+// BenchmarkSharedAccess after dividing by 1024.
+func BenchmarkSharedReadRange(b *testing.B) {
+	cfg := seqConfig()
+	c := cache.Alpha21064A
+	cfg.Cache = &c
+	l := NewLayout()
+	arr := l.F64Pages(8192)
+	n := b.N
+	prog := &Program{
+		Name:        "hotpath-range",
+		SharedBytes: l.Size(),
+		Body: func(p *Proc) {
+			buf := make([]float64, 1024)
+			for i := 0; i < n; i++ {
+				p.ReadF64Range(arr.Addr((i%8)*1024), buf)
+			}
+		},
+	}
+	b.ResetTimer()
+	if _, err := Run(cfg, prog); err != nil {
+		b.Fatal(err)
+	}
+}

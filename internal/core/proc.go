@@ -16,6 +16,22 @@ import (
 // noticed with bounded delay (the real interrupt latency dominates it).
 const Quantum = 5 * sim.Microsecond
 
+// tlbSize is the number of entries in the per-processor translation cache
+// (direct-mapped by page number; must be a power of two). Sized so a stencil
+// touching a handful of rows plus its write target stays fully cached.
+const tlbSize = 16
+
+// tlbEntry caches one page translation: the protection and frame observed at
+// a given mapping epoch. The entry is valid only while the space's epoch is
+// unchanged (any SetProt/DropFrame/frame allocation bumps it), which makes
+// hits provably equivalent to a fresh table walk.
+type tlbEntry struct {
+	page  int
+	epoch uint64
+	prot  vm.Prot
+	frame []byte
+}
+
 // Proc is one simulated processor's DSM context: the simulation processor,
 // its page table and frames, its L1 model, its messaging endpoint, and its
 // statistics. Application bodies receive a *Proc and perform all shared
@@ -32,6 +48,13 @@ type Proc struct {
 
 	proto     Protocol
 	writeHook bool
+
+	// tlb is the translation fast path: sequential same-page accesses skip
+	// the page-table walk and nil-frame check. noFastPath (SIM_NO_FASTPATH)
+	// keeps the original walk-every-access path alive so tests can assert
+	// the two produce byte-identical results.
+	tlb        [tlbSize]tlbEntry
+	noFastPath bool
 
 	// doubleBit/mcRegion synthesize the cache-visible address of a doubled
 	// write (paper §3.3.1): the MC copy region is far away (different tag)
@@ -83,8 +106,13 @@ func (p *Proc) ChargeProtocol(d sim.Time) { p.Charge(CatProtocol, d) }
 
 // checkpoint services eligible incoming requests and yields if the clock has
 // run a quantum ahead. Called from poll points, compute slices, and every
-// shared access.
+// shared access. The quiet guard is exact — PollVisible is a no-op when no
+// message is visible and YieldIfQuantum is a no-op under quantum — so
+// skipping cannot change any virtual-time result.
 func (p *Proc) checkpoint() {
+	if !p.noFastPath && p.sp.CheckpointQuiet(Quantum) {
+		return
+	}
 	p.ep.PollVisible()
 	p.sp.YieldIfQuantum(Quantum)
 }
@@ -124,10 +152,28 @@ func (p *Proc) access(a Addr) {
 	p.checkpoint()
 }
 
+// fillTLB caches the translation for a page whose frame is materialized.
+// The entry records the current epoch; any later mapping mutation on the
+// space invalidates it wholesale.
+func (p *Proc) fillTLB(page int, fr []byte) {
+	if p.noFastPath {
+		return
+	}
+	p.tlb[page&(tlbSize-1)] = tlbEntry{page: page, epoch: p.space.Epoch(), prot: p.space.Prot(page), frame: fr}
+}
+
 // readable returns the frame for the page containing a, running the
 // protocol's read-fault handler first if the page is not readable.
 func (p *Proc) readable(a Addr) []byte {
 	page := vm.PageOf(a)
+	if !p.noFastPath {
+		if e := &p.tlb[page&(tlbSize-1)]; e.page == page && e.frame != nil &&
+			e.epoch == p.space.Epoch() && e.prot.CanRead() {
+			// Same mapping epoch: the walk below would observe exactly the
+			// cached protection and frame.
+			return e.frame
+		}
+	}
 	if !p.space.Prot(page).CanRead() {
 		p.stats.ReadFaults++
 		p.sp.Yield() // faults are globally visible protocol actions
@@ -140,6 +186,7 @@ func (p *Proc) readable(a Addr) []byte {
 	if fr == nil {
 		fr = p.materialize(page)
 	}
+	p.fillTLB(page, fr)
 	return fr
 }
 
@@ -147,6 +194,12 @@ func (p *Proc) readable(a Addr) []byte {
 // protocol's write-fault handler first if the page is not writable.
 func (p *Proc) writable(a Addr) []byte {
 	page := vm.PageOf(a)
+	if !p.noFastPath {
+		if e := &p.tlb[page&(tlbSize-1)]; e.page == page && e.frame != nil &&
+			e.epoch == p.space.Epoch() && e.prot.CanWrite() {
+			return e.frame
+		}
+	}
 	if !p.space.Prot(page).CanWrite() {
 		p.stats.WriteFaults++
 		p.sp.Yield()
@@ -159,6 +212,7 @@ func (p *Proc) writable(a Addr) []byte {
 	if fr == nil {
 		fr = p.materialize(page)
 	}
+	p.fillTLB(page, fr)
 	return fr
 }
 
@@ -217,6 +271,95 @@ func (p *Proc) WriteI64(a Addr, v int64) {
 	p.access(a)
 	if p.writeHook {
 		p.proto.OnSharedWrite(p, a, 8)
+	}
+}
+
+// ReadF64Range reads len(dst) consecutive float64 elements starting at a
+// into dst. It is semantically identical to len(dst) individual ReadF64
+// calls at a, a+8, ...: the same faults are taken, the same per-element
+// access and L1 costs are charged in the same order, and the same
+// checkpoints fire at the same clock values. The fast path checks
+// protection once per page run instead of once per element, re-translating
+// only when protocol work inside a checkpoint moved the mapping epoch.
+func (p *Proc) ReadF64Range(a Addr, dst []float64) {
+	if p.noFastPath {
+		for i := range dst {
+			dst[i] = p.ReadF64(a + Addr(i)*8)
+		}
+		return
+	}
+	i := 0
+outer:
+	for i < len(dst) {
+		addr := a + Addr(i)*8
+		fr := p.readable(addr)
+		epoch := p.space.Epoch()
+		off := vm.Offset(addr)
+		run := (vm.PageSize - off) / 8
+		if run <= 0 {
+			// Element straddles the end of its page: defer to the scalar
+			// path so the failure mode is identical.
+			dst[i] = p.ReadF64(addr)
+			i++
+			continue
+		}
+		if rem := len(dst) - i; run > rem {
+			run = rem
+		}
+		for k := 0; k < run; k++ {
+			p.access(addr + Addr(k)*8)
+			dst[i+k] = math.Float64frombits(binary.LittleEndian.Uint64(fr[off+8*k:]))
+			if p.space.Epoch() != epoch {
+				// A checkpoint inside access ran protocol work that changed
+				// the mapping; re-translate before the next element.
+				i += k + 1
+				continue outer
+			}
+		}
+		i += run
+	}
+}
+
+// WriteF64Range writes len(src) consecutive float64 elements starting at a.
+// Like ReadF64Range, it is bit-exact with the equivalent sequence of
+// WriteF64 calls, including per-element write hooks for protocols that
+// request them.
+func (p *Proc) WriteF64Range(a Addr, src []float64) {
+	if p.noFastPath {
+		for i, v := range src {
+			p.WriteF64(a+Addr(i)*8, v)
+		}
+		return
+	}
+	i := 0
+outer:
+	for i < len(src) {
+		addr := a + Addr(i)*8
+		fr := p.writable(addr)
+		epoch := p.space.Epoch()
+		off := vm.Offset(addr)
+		run := (vm.PageSize - off) / 8
+		if run <= 0 {
+			p.WriteF64(addr, src[i])
+			i++
+			continue
+		}
+		if rem := len(src) - i; run > rem {
+			run = rem
+		}
+		for k := 0; k < run; k++ {
+			ea := addr + Addr(k)*8
+			binary.LittleEndian.PutUint64(fr[off+8*k:], math.Float64bits(src[i+k]))
+			p.access(ea)
+			if p.writeHook {
+				p.proto.OnSharedWrite(p, ea, 8)
+			}
+			if p.space.Epoch() != epoch {
+				i += k + 1
+				continue outer
+			}
+		}
+		i += run
 	}
 }
 

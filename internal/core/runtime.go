@@ -255,18 +255,20 @@ func Run(cfg Config, prog *Program) (res *Result, err error) {
 		rt.serverProcs = make([]*Proc, cfg.Nodes)
 	}
 
+	noFastPath := !sim.FastPathEnabled()
 	for _, sp := range eng.Procs() {
 		ep, err := msg.NewEndpoint(sp, net, cfg.Msg)
 		if err != nil {
 			return nil, err
 		}
 		p := &Proc{
-			sp:    sp,
-			ep:    ep,
-			space: vm.NewSpace(rt.numPages),
-			rt:    rt,
-			costs: cfg.Costs,
-			rank:  -1,
+			sp:         sp,
+			ep:         ep,
+			space:      vm.NewSpace(rt.numPages),
+			rt:         rt,
+			costs:      cfg.Costs,
+			rank:       -1,
+			noFastPath: noFastPath,
 		}
 		if cfg.Cache != nil {
 			l1, err := cache.New(*cfg.Cache)

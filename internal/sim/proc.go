@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Proc is one simulated processor. All of its methods must be called from the
 // processor's own body function (the goroutine started by Run), except
@@ -30,6 +33,10 @@ type Proc struct {
 	wakeTokenAt Time
 
 	blockReason string
+
+	// killed is set by the engine when a failed Run unwinds parked
+	// goroutines; the next resume exits via runtime.Goexit.
+	killed bool
 
 	inbox mailbox
 
@@ -65,9 +72,18 @@ func (p *Proc) AdvanceTo(t Time) {
 
 func (p *Proc) run() {
 	<-p.resume // wait for the first dispatch
+	if p.killed {
+		return // engine teardown before the body ever ran
+	}
 	done := false
 	defer func() {
-		if r := recover(); r != nil {
+		r := recover()
+		if p.killed {
+			// Engine teardown unwound us mid-yield; nobody is listening on
+			// the reports channel any more.
+			return
+		}
+		if r != nil {
 			p.eng.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d panicked: %v", p.ID, r)}
 			return
 		}
@@ -100,10 +116,33 @@ func (p *Proc) YieldUntil(t Time) {
 }
 
 func (p *Proc) yieldUntil(t Time) {
+	if p.eng.canElide(t) {
+		// Fast path: the scheduler would hand the baton straight back, so
+		// perform exactly the state updates the round-trip would have made —
+		// reset the quantum origin and advance the clock to the resume time —
+		// and keep running. Bit-exact with the slow path: no other processor
+		// could have run in between.
+		p.eng.elided++
+		p.lastYield = p.now
+		if t > p.now {
+			p.now = t
+		}
+		return
+	}
 	p.lastYield = p.now
+	if p.eng.fastYield && p.eng.handoff(p, t) {
+		// Baton passed (or bounced straight back) without waking the engine.
+		if p.killed {
+			runtime.Goexit()
+		}
+		return
+	}
 	p.queuedAt = t
 	p.eng.reports <- report{p: p, kind: reportYield, at: t}
 	<-p.resume
+	if p.killed {
+		runtime.Goexit()
+	}
 }
 
 // YieldIfQuantum yields only if the processor has run more than quantum
@@ -114,6 +153,16 @@ func (p *Proc) YieldIfQuantum(quantum Time) {
 	if p.now-p.lastYield >= quantum {
 		p.Yield()
 	}
+}
+
+// CheckpointQuiet reports whether a poll-and-yield checkpoint would be a
+// no-op at the current clock: no message is visible in the inbox and the
+// processor is still within its quantum. Hot access paths consult this
+// before paying for the full checkpoint; the answer is exact, not heuristic,
+// so skipping on true cannot change any virtual-time result.
+func (p *Proc) CheckpointQuiet(quantum Time) bool {
+	return (len(p.inbox.msgs) == 0 || p.inbox.msgs[0].At > p.now) &&
+		p.now-p.lastYield < quantum
 }
 
 // Block parks the processor until another processor calls WakeAt (or until a
@@ -130,8 +179,16 @@ func (p *Proc) Block(reason string) {
 	}
 	p.blockReason = reason
 	p.lastYield = p.now
-	p.eng.reports <- report{p: p, kind: reportBlock}
-	<-p.resume
+	if p.eng.fastYield && p.eng.dispatchBlocked(p) {
+		// Baton passed directly; a WakeAt re-queued us and a dispatcher
+		// (engine or peer) handed it back.
+	} else {
+		p.eng.reports <- report{p: p, kind: reportBlock}
+		<-p.resume
+	}
+	if p.killed {
+		runtime.Goexit()
+	}
 	p.blockReason = ""
 	p.wakeToken = false // the wake that resumed us is consumed
 }

@@ -40,6 +40,14 @@ func (q *runQueue) push(e entry) {
 	}
 }
 
+// peek returns the minimum entry without removing it.
+func (q *runQueue) peek() (entry, bool) {
+	if len(q.h) == 0 {
+		return entry{}, false
+	}
+	return q.h[0], true
+}
+
 func (q *runQueue) pop() (entry, bool) {
 	if len(q.h) == 0 {
 		return entry{}, false

@@ -23,9 +23,22 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 )
+
+// NoFastPathEnv is the environment variable that, when set to any non-empty
+// value, disables the simulator's host-time fast paths (yield elision here,
+// translation caching in internal/core). The fast paths are bit-exact — they
+// change no virtual-time result — so the toggle exists purely so tests can
+// run both paths and assert identical output.
+const NoFastPathEnv = "SIM_NO_FASTPATH"
+
+// FastPathEnabled reports whether the fast paths are enabled for engines and
+// runtimes created from now on (the environment is consulted at creation
+// time, not per operation).
+func FastPathEnabled() bool { return os.Getenv(NoFastPathEnv) == "" }
 
 // Time is virtual time in nanoseconds.
 type Time = int64
@@ -113,6 +126,10 @@ type Engine struct {
 	msgSeq    uint64 // global sequence for deterministic message tie-breaking
 	pushCount uint64 // global run-queue push counter for FIFO tie-breaking
 	started   bool
+
+	fastYield bool   // elide scheduler round-trips when provably inconsequential
+	elided    uint64 // yields satisfied without a scheduler round-trip
+	handoffs  uint64 // baton passes that bypassed the engine goroutine
 }
 
 // NewEngine creates an engine for the given cluster shape and instantiates
@@ -123,8 +140,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		reports: make(chan report),
+		cfg:       cfg,
+		reports:   make(chan report),
+		fastYield: FastPathEnabled(),
 	}
 	for n := 0; n < cfg.Nodes; n++ {
 		for c := 0; c < cfg.ProcsPerNode; c++ {
@@ -166,9 +184,54 @@ func (e *Engine) Go(p *Proc, body func(*Proc)) {
 	p.body = body
 }
 
+// SetFastYield enables or disables yield elision on this engine, overriding
+// the SIM_NO_FASTPATH environment default. For tests that want to pin one
+// path explicitly; must be called before Run.
+func (e *Engine) SetFastYield(on bool) { e.fastYield = on }
+
+// ElidedYields returns the number of yields that were satisfied without a
+// scheduler round-trip. Purely observational (tests and benchmarks).
+func (e *Engine) ElidedYields() uint64 { return e.elided }
+
+// DirectHandoffs returns the number of baton passes that went directly from
+// one processor goroutine to the next without waking the engine goroutine.
+// Purely observational (tests and benchmarks).
+func (e *Engine) DirectHandoffs() uint64 { return e.handoffs }
+
+// canElide reports whether a yield by the running processor until virtual
+// time t may skip the report/resume channel round-trip entirely. It may:
+// exactly one goroutine runs at a time, so the run queue is quiescent, and if
+// every runnable processor's resume time is strictly after t the dispatch
+// loop would pop the yielder's own entry and hand the baton straight back.
+// Ties are not elidable: FIFO order among equal times would run the already
+// queued processor first. Stale heap heads (entries superseded by a later
+// WakeAt) are discarded on the way, exactly as the dispatch loop would
+// discard them when popped.
+func (e *Engine) canElide(t Time) bool {
+	if !e.fastYield {
+		return false
+	}
+	for {
+		head, ok := e.runq.peek()
+		if !ok {
+			// No other runnable processor: the yielder would be re-dispatched
+			// immediately.
+			return true
+		}
+		q := e.procs[head.procID]
+		if q.state != stateQueued || head.seq != q.queueSeq {
+			e.runq.pop() // stale entry; the dispatch loop would skip it too
+			continue
+		}
+		return t < head.at
+	}
+}
+
 // Run executes the simulation until every processor with a body has finished,
 // or until no progress is possible (deadlock). It returns an error describing
-// a deadlock or a panic inside a processor body.
+// a deadlock or a panic inside a processor body. On either failure the
+// parked processor goroutines are unwound before Run returns, so an aborted
+// simulation does not leak goroutines.
 func (e *Engine) Run() error {
 	if e.started {
 		return fmt.Errorf("sim: engine already ran")
@@ -190,7 +253,9 @@ func (e *Engine) Run() error {
 	for active > 0 {
 		ent, ok := e.runq.pop()
 		if !ok {
-			return e.deadlockError(active)
+			err := e.deadlockError(active)
+			e.killParked()
+			return err
 		}
 		p := e.procs[ent.procID]
 		if p.state != stateQueued || ent.seq != p.queueSeq {
@@ -201,28 +266,110 @@ func (e *Engine) Run() error {
 		}
 		p.state = stateRunning
 		p.resume <- struct{}{}
+		// With direct handoff enabled the baton may pass between processor
+		// goroutines many times before anything is reported, so the reporter
+		// (r.p) is not necessarily the processor dispatched above.
 		r := <-e.reports
 		switch r.kind {
 		case reportYield:
-			e.enqueue(p, r.at)
+			e.enqueue(r.p, r.at)
 		case reportBlock:
-			p.state = stateBlocked
+			r.p.state = stateBlocked
 		case reportDone:
-			p.state = stateDone
+			r.p.state = stateDone
 			active--
 		case reportPanic:
-			p.state = stateDone
+			r.p.state = stateDone
 			active--
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			// Drain: other goroutines are parked on their resume channels
-			// and will be collected when the process exits; the simulation
-			// result is already invalid.
+			// The simulation result is already invalid; unwind the parked
+			// goroutines so an engine-heavy test run does not accumulate
+			// them.
+			e.killParked()
 			return firstErr
 		}
 	}
 	return firstErr
+}
+
+// handoff performs a yield dispatch entirely on the yielding processor's
+// goroutine: it enqueues p to resume at t (exactly as the engine does on a
+// yield report), pops the minimum runnable entry, and passes the baton to that
+// processor directly, parking p until its own entry is popped later. This is
+// bit-exact with routing through the engine — the enqueue and dispatch steps
+// are the same code the engine loop runs, in the same order — but costs one
+// goroutine switch instead of two. Returns false if no successor exists (the
+// caller must fall back to the engine), which cannot happen when canElide has
+// just returned false but keeps this function independently safe.
+func (e *Engine) handoff(p *Proc, t Time) bool {
+	e.enqueue(p, t)
+	for {
+		ent, ok := e.runq.pop()
+		if !ok {
+			return false
+		}
+		q := e.procs[ent.procID]
+		if q.state != stateQueued || ent.seq != q.queueSeq {
+			continue // stale queue entry superseded by a later Wake
+		}
+		if ent.at > q.now {
+			q.now = ent.at
+		}
+		q.state = stateRunning
+		if q == p {
+			return true // own entry came straight back: keep running
+		}
+		e.handoffs++
+		q.resume <- struct{}{}
+		<-p.resume
+		return true
+	}
+}
+
+// dispatchBlocked marks p blocked and passes the baton to the next runnable
+// processor directly, parking p until a WakeAt re-queues it. Returns false —
+// leaving p's state untouched — when no runnable processor exists; the caller
+// must then report through the engine so deadlock detection runs.
+func (e *Engine) dispatchBlocked(p *Proc) bool {
+	for {
+		ent, ok := e.runq.peek()
+		if !ok {
+			return false
+		}
+		q := e.procs[ent.procID]
+		if q.state != stateQueued || ent.seq != q.queueSeq {
+			e.runq.pop() // stale entry; the dispatch loop would skip it too
+			continue
+		}
+		e.runq.pop()
+		p.state = stateBlocked
+		if ent.at > q.now {
+			q.now = ent.at
+		}
+		q.state = stateRunning
+		e.handoffs++
+		q.resume <- struct{}{}
+		<-p.resume
+		return true
+	}
+}
+
+// killParked unwinds every processor goroutine still parked on its resume
+// channel. Each parked goroutine is woken with its killed flag set; it exits
+// via runtime.Goexit without reporting back (nobody is listening). Only
+// called from Run's failure paths, where no processor holds the baton, so
+// every non-done processor with a body is guaranteed to be blocked on
+// <-resume and the unbuffered sends cannot hang.
+func (e *Engine) killParked() {
+	for _, p := range e.procs {
+		if p.body == nil || p.state == stateDone {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+	}
 }
 
 func (e *Engine) deadlockError(active int) error {

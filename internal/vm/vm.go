@@ -66,6 +66,12 @@ func (p Prot) CanWrite() bool { return p == ProtReadWrite }
 type Space struct {
 	prot   []Prot
 	frames [][]byte
+	// epoch counts mapping mutations (protection changes, frame drops and
+	// allocations). Cached (page, prot, frame) translations — internal/core
+	// keeps a small per-processor cache to skip the table walk on sequential
+	// same-page accesses — are valid only while the epoch they were filled
+	// at is still current.
+	epoch uint64
 }
 
 // NewSpace creates a space covering numPages pages, all ProtNone and
@@ -86,9 +92,17 @@ func (s *Space) NumPages() int { return len(s.prot) }
 // Prot returns the protection of page p.
 func (s *Space) Prot(page int) Prot { return s.prot[page] }
 
+// Epoch returns the mapping-mutation counter. Any SetProt, DropFrame, or
+// frame allocation bumps it, invalidating all cached translations for this
+// space.
+func (s *Space) Epoch() uint64 { return s.epoch }
+
 // SetProt changes the protection of page p. Cost accounting (the mprotect
 // cost) is the caller's responsibility.
-func (s *Space) SetProt(page int, prot Prot) { s.prot[page] = prot }
+func (s *Space) SetProt(page int, prot Prot) {
+	s.prot[page] = prot
+	s.epoch++
+}
 
 // Frame returns page p's local frame, or nil if the page has never been
 // mapped on this processor.
@@ -99,13 +113,17 @@ func (s *Space) Frame(page int) []byte { return s.frames[page] }
 func (s *Space) EnsureFrame(page int) []byte {
 	if s.frames[page] == nil {
 		s.frames[page] = make([]byte, PageSize)
+		s.epoch++
 	}
 	return s.frames[page]
 }
 
 // DropFrame discards page p's local frame (full unmap, e.g. when TreadMarks
 // invalidates a page whose contents will be refetched).
-func (s *Space) DropFrame(page int) { s.frames[page] = nil }
+func (s *Space) DropFrame(page int) {
+	s.frames[page] = nil
+	s.epoch++
+}
 
 // Superpages: Digital Unix limits the number of distinct Memory Channel
 // regions, so Cashmere groups pages into fixed-size superpages that must

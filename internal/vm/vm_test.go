@@ -127,3 +127,44 @@ func TestProtMonotonicity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEpochTracksMappingMutations checks that every mapping mutation — and
+// only mapping mutations — bumps the epoch that validates cached
+// translations.
+func TestEpochTracksMappingMutations(t *testing.T) {
+	s := NewSpace(4)
+	e0 := s.Epoch()
+
+	s.SetProt(2, ProtRead)
+	if s.Epoch() != e0+1 {
+		t.Fatalf("SetProt: epoch %d, want %d", s.Epoch(), e0+1)
+	}
+	s.EnsureFrame(2)
+	if s.Epoch() != e0+2 {
+		t.Fatalf("EnsureFrame alloc: epoch %d, want %d", s.Epoch(), e0+2)
+	}
+	// Re-ensuring an existing frame changes no mapping and must not
+	// invalidate translations.
+	s.EnsureFrame(2)
+	if s.Epoch() != e0+2 {
+		t.Fatalf("EnsureFrame existing: epoch %d, want %d", s.Epoch(), e0+2)
+	}
+	// Reads of the table never bump.
+	_ = s.Prot(2)
+	_ = s.Frame(2)
+	if s.Epoch() != e0+2 {
+		t.Fatalf("read accessors bumped epoch to %d", s.Epoch())
+	}
+	s.DropFrame(2)
+	if s.Epoch() != e0+3 {
+		t.Fatalf("DropFrame: epoch %d, want %d", s.Epoch(), e0+3)
+	}
+	// Writing through a frame mutates data, not the mapping: frame identity
+	// is unchanged, so cached translations stay valid.
+	fr := s.EnsureFrame(1)
+	e1 := s.Epoch()
+	fr[0] = 0xff
+	if s.Epoch() != e1 {
+		t.Fatalf("frame data write bumped epoch to %d", s.Epoch())
+	}
+}
