@@ -408,6 +408,17 @@ func (c *Protocol) Service(p *core.Proc, m sim.Msg, req msg.Request) {
 // Finalize implements core.Protocol.
 func (c *Protocol) Finalize(p *core.Proc) {}
 
+// DomainSafe implements core.DomainSafety. Cashmere's host-level state is
+// deliberately cluster-global, mirroring the paper's use of Memory Channel
+// reflected writes: the accessing processor writes the remote home node's
+// frame directly (OnSharedWrite doubling, releasePage flushes), mutates the
+// shared page directory and global lock/barrier words in place, and drives
+// the memchan occupancy model (linkFree/aggFree), which is itself a single
+// cluster-wide structure. None of that is confined to the accessing node's
+// scheduling domain, so the node-parallel engine must not run this protocol;
+// core.Run falls back to the sequential engine.
+func (c *Protocol) DomainSafe() bool { return false }
+
 // Counters implements core.Protocol.
 func (c *Protocol) Counters() map[string]int64 {
 	return map[string]int64{

@@ -388,16 +388,26 @@ func (p *Proc) SpinWait(what string, cond func() bool) {
 	)
 	deadline := p.sp.Now() + limit
 	step := stepMin
-	for !cond() {
+	// PollWait lets whichever goroutine dispatches this processor's queue
+	// entry probe the condition inline, so a contended spin costs no host
+	// goroutine switches. The closure must not yield or block: cond reads
+	// memory (charging access costs) and PollVisible only services handlers
+	// that charge and reply, which holds for every protocol that spins
+	// (Cashmere's locks and barriers; TreadMarks waits in Recv instead).
+	p.sp.PollWait(func() (bool, sim.Time) {
+		if cond() {
+			return true, 0
+		}
 		if p.sp.Now() > deadline {
 			panic(fmt.Sprintf("core: proc %d spun %dns on %q without progress", p.sp.ID, limit, what))
 		}
 		p.ep.PollVisible()
-		p.sp.Sleep(step)
+		p.sp.Advance(step)
 		if step < stepMax {
 			step *= 2
 		}
-	}
+		return false, p.sp.Now()
+	})
 }
 
 // Lock acquires application lock id.

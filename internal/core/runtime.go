@@ -37,6 +37,13 @@ type Config struct {
 	NewProtocol func(rt *Runtime) Protocol
 	// Variant is the reporting name (e.g. "csm_poll", "tmk_udp_int").
 	Variant string
+	// Parallel requests the node-parallel simulation engine for this run.
+	// It only engages when the protocol declares itself domain-safe (see
+	// DomainSafety) and the cluster has more than one node; otherwise the
+	// run silently falls back to the sequential engine. Either way the
+	// Result is identical byte for byte — parallel execution is an engine
+	// implementation detail, never a model change.
+	Parallel bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -101,6 +108,13 @@ type Result struct {
 	Counters map[string]int64
 	// Checks are application-reported validation values.
 	Checks map[string]float64
+
+	// EngineParallel and EngineDomains record the engine mode the run
+	// actually committed to (after domain-safety and cluster-shape gating).
+	// They are observability only and are excluded from JSON so that
+	// serialized results stay byte-identical across engine modes.
+	EngineParallel bool `json:"-"`
+	EngineDomains  int  `json:"-"`
 }
 
 // Runtime wires one run together. Protocol implementations use its accessors
@@ -287,6 +301,23 @@ func Run(cfg Config, prog *Program) (res *Result, err error) {
 	}
 
 	rt.proto = cfg.NewProtocol(rt)
+
+	// Engine-mode selection. Parallel execution is requested by the config
+	// (or the SIM_PARALLEL environment override) but gated on the protocol
+	// declaring its host-level state domain-confined; protocols that do not
+	// implement DomainSafety are treated as unsafe. The explicit SetParallel
+	// also suppresses an environment request the protocol cannot honor. The
+	// lookahead is owned by the network model: no cross-node interaction the
+	// Memory Channel mediates arrives sooner than MinCrossNodeLatency.
+	safe := false
+	if ds, ok := rt.proto.(DomainSafety); ok {
+		safe = ds.DomainSafe()
+	}
+	eng.SetParallel((cfg.Parallel || sim.ParallelRequested()) && safe)
+	if safe {
+		eng.SetLookahead(cfg.MC.MinCrossNodeLatency())
+	}
+
 	rt.proto.Setup(rt)
 	for _, p := range rt.allProcs {
 		p.proto = rt.proto
@@ -353,6 +384,9 @@ func (rt *Runtime) result() *Result {
 		Traffic:  make(map[string]int64),
 		Counters: rt.proto.Counters(),
 		Checks:   rt.checks,
+
+		EngineParallel: rt.eng.ParallelActive(),
+		EngineDomains:  rt.eng.Domains(),
 	}
 	for _, p := range rt.computeProcs {
 		st := p.Snapshot()

@@ -85,6 +85,22 @@ func SecondGeneration() Params {
 	return p
 }
 
+// MinCrossNodeLatency returns the smallest virtual latency any cross-node
+// interaction modeled by these parameters can carry: reflected writes and
+// bulk transfers arrive no earlier than Latency after they are issued, and
+// inter-node interrupts no earlier than InterruptLatency. This is the safe
+// lookahead a node-parallel simulation (sim.SetLookahead) may declare for a
+// cluster whose nodes interact only through this network model. It does NOT
+// cover msg.Endpoint.Shutdown, which delivers teardown notices at zero
+// latency; a parallel run must quiesce cross-node traffic before shutdown.
+func (p Params) MinCrossNodeLatency() sim.Time {
+	min := p.Latency
+	if p.InterruptLatency < min {
+		min = p.InterruptLatency
+	}
+	return min
+}
+
 // Validate reports whether the parameters are usable.
 func (p Params) Validate() error {
 	if p.Latency <= 0 || p.WriteCost <= 0 || p.InterruptSendCost <= 0 || p.InterruptLatency <= 0 {

@@ -337,3 +337,44 @@ func TestWordVisibilityTwoWritesWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMinCrossNodeLatency checks the declared parallel-simulation lookahead:
+// it must be the smallest latency any cross-node interaction can carry, and
+// every modeled cross-node arrival must respect it.
+func TestMinCrossNodeLatency(t *testing.T) {
+	if got, want := DefaultParams().MinCrossNodeLatency(), sim.Time(5200); got != want {
+		t.Errorf("DefaultParams MinCrossNodeLatency = %d, want %d", got, want)
+	}
+	if got, want := SecondGeneration().MinCrossNodeLatency(), sim.Time(2600); got != want {
+		t.Errorf("SecondGeneration MinCrossNodeLatency = %d, want %d", got, want)
+	}
+	fast := DefaultParams()
+	fast.InterruptLatency = 100 // hypothetical: interrupts faster than writes
+	if got, want := fast.MinCrossNodeLatency(), sim.Time(100); got != want {
+		t.Errorf("fast-interrupt MinCrossNodeLatency = %d, want %d", got, want)
+	}
+
+	// Property: a cross-node transfer issued at time s arrives no earlier
+	// than s + MinCrossNodeLatency, no matter how small the payload.
+	eng, net := testCluster(t, 2, 1)
+	la := net.Params().MinCrossNodeLatency()
+	eng.Go(eng.Proc(0), func(p *sim.Proc) {
+		issue := p.Now()
+		arrival := net.Transfer(p, 1, 1, TrafficMessage)
+		if arrival < issue+la {
+			t.Errorf("1-byte transfer arrived at %d, before issue %d + lookahead %d", arrival, issue, la)
+		}
+		net.Interrupt(p, eng.Proc(1), 1, nil)
+	})
+	var intrAt sim.Time
+	eng.Go(eng.Proc(1), func(p *sim.Proc) {
+		m := p.Recv("interrupt")
+		intrAt = m.At
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if intrAt < la {
+		t.Errorf("interrupt arrived at %d, inside the %d lookahead", intrAt, la)
+	}
+}

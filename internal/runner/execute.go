@@ -22,9 +22,34 @@ type Options struct {
 	// host. Zero or negative means runtime.NumCPU().
 	Jobs int
 	// OnProgress, if set, is called after each spec resolves (executed or
-	// served from cache) with the number done so far and the plan total.
-	// Calls are serialized; done reaches total exactly once.
-	OnProgress func(done, total int, spec RunSpec)
+	// served from cache) with the number done so far, the plan total, and
+	// how the run executed. Calls are serialized; done reaches total
+	// exactly once.
+	OnProgress func(done, total int, spec RunSpec, info RunInfo)
+	// Parallel requests the node-parallel simulation engine for each run
+	// (core.Config.Parallel). Engine mode cannot change any result — runs
+	// fall back to sequential unless the protocol is domain-safe, and
+	// parallel execution is bit-exact — so cached results are shared
+	// freely between Parallel and sequential Execute calls.
+	Parallel bool
+	// CacheDir, if non-empty, enables a persistent on-disk result cache:
+	// successful results are written there after execution and reused by
+	// later processes. Entries are keyed by the spec's canonical key and
+	// the results schema version, so a schema bump invalidates the whole
+	// cache. Failed and infeasible runs are never cached.
+	CacheDir string
+}
+
+// RunInfo describes how one spec's run was satisfied, for progress display.
+type RunInfo struct {
+	// Parallel and Domains report the engine mode the run committed to.
+	// For disk-cache hits they are zero: engine mode is observability
+	// only and deliberately excluded from the serialized result.
+	Parallel bool
+	Domains  int
+	// DiskCached marks a result loaded from Options.CacheDir rather than
+	// executed (or memoized) in this process.
+	DiskCached bool
 }
 
 // ResultSet holds the outcome of every spec in an executed plan, keyed by
@@ -70,9 +95,10 @@ var memo = struct {
 }{m: map[string]*memoEntry{}}
 
 type memoEntry struct {
-	once sync.Once
-	res  *core.Result
-	err  error
+	once     sync.Once
+	res      *core.Result
+	err      error
+	fromDisk bool
 }
 
 // executions counts actual simulations run (cache misses) process-wide.
@@ -103,7 +129,7 @@ func lookup(key string) *memoEntry {
 }
 
 // run executes one spec's simulation (no caching).
-func run(s RunSpec) (*core.Result, error) {
+func run(s RunSpec, parallel bool) (*core.Result, error) {
 	nodes, ppn, err := layoutFor(s)
 	if err != nil {
 		return nil, err
@@ -112,11 +138,28 @@ func run(s RunSpec) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Parallel = parallel
 	prog, err := buildProgram(s)
 	if err != nil {
 		return nil, err
 	}
 	return core.Run(cfg, prog)
+}
+
+// PotentialDomains returns the number of scheduling domains a spec's run
+// could commit to under Options.Parallel: the layout's node count when the
+// variant's protocol is domain-safe, 1 otherwise (or when the layout is
+// unknown/infeasible). Callers use the maximum over a plan to budget host
+// workers (jobs x domains <= cores).
+func PotentialDomains(s RunSpec) int {
+	if !variants.DomainSafe(s.Variant) {
+		return 1
+	}
+	nodes, _, err := layoutFor(s)
+	if err != nil || nodes <= 1 {
+		return 1
+	}
+	return nodes
 }
 
 // Execute runs every spec in the plan, fanning out over a bounded worker
@@ -155,16 +198,33 @@ func Execute(plan *Plan, opts Options) (*ResultSet, error) {
 				s := specs[i]
 				e := lookup(s.Key())
 				e.once.Do(func() {
-					e.res, e.err = run(s)
+					if opts.CacheDir != "" {
+						if res, ok := loadDiskResult(opts.CacheDir, s.Key()); ok {
+							e.res, e.fromDisk = res, true
+							diskHits.Add(1)
+							return
+						}
+					}
+					e.res, e.err = run(s, opts.Parallel)
 					if e.err == nil || !errors.Is(e.err, ErrInfeasible) {
 						executions.Add(1)
+					}
+					if e.err == nil && opts.CacheDir != "" {
+						// The disk cache is advisory: a write failure
+						// (read-only dir, disk full) must not fail the run.
+						_ = storeDiskResult(opts.CacheDir, s.Key(), e.res)
 					}
 				})
 				outcomes[i] = &outcome{spec: s, res: e.res, err: e.err}
 				if opts.OnProgress != nil {
+					info := RunInfo{DiskCached: e.fromDisk}
+					if e.res != nil {
+						info.Parallel = e.res.EngineParallel
+						info.Domains = e.res.EngineDomains
+					}
 					progressMu.Lock()
 					done++
-					opts.OnProgress(done, len(specs), s)
+					opts.OnProgress(done, len(specs), s, info)
 					progressMu.Unlock()
 				}
 			}

@@ -149,7 +149,7 @@ func TestProgress(t *testing.T) {
 	p := NewPlan()
 	p.Add(smallSpec(variants.Sequential, 1), smallSpec("csm_poll", 2), smallSpec("csm_pp", 32))
 	var calls, last, total int
-	_, err := Execute(p, Options{Jobs: 4, OnProgress: func(done, tot int, _ RunSpec) {
+	_, err := Execute(p, Options{Jobs: 4, OnProgress: func(done, tot int, _ RunSpec, _ RunInfo) {
 		calls++
 		last, total = done, tot
 	}})

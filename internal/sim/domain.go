@@ -1,0 +1,528 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// maxTime is the "no horizon" sentinel: a sequential domain executes as if
+// its window never closes.
+const maxTime = Time(math.MaxInt64)
+
+// ParallelEnv is the environment variable that, when set to any non-empty
+// value, makes engines default to node-parallel execution (the default can
+// still be overridden per engine with SetParallel). Parallel execution only
+// engages when the engine also has a positive cross-domain lookahead declared
+// via SetLookahead and more than one node; otherwise the engine silently runs
+// sequentially, so setting the variable is always safe.
+const ParallelEnv = "SIM_PARALLEL"
+
+// crossKind tags a staged cross-domain event.
+type crossKind uint8
+
+const (
+	crossDeliver crossKind = iota
+	crossWake
+)
+
+// crossEvent is one cross-domain interaction staged during a window and
+// applied by the coordinator between windows.
+type crossEvent struct {
+	kind   crossKind
+	target int // destination proc id
+	at     Time
+	from   int // sender domain id (deterministic ordering + tie detection)
+	msg    Msg // crossDeliver only
+}
+
+// domain is one sequential scheduling region of the engine: a set of
+// processors that share a run queue and execute under the baton-passing
+// discipline. A sequential engine has exactly one domain holding every
+// processor; a parallel engine has one domain per simulated node, each driven
+// by its own host worker.
+//
+// All of a domain's scheduling state (runq, pushCount, msgSeq, counters) is
+// touched only by the goroutine currently holding the domain's baton — the
+// worker or one of the domain's processor goroutines — with every transfer of
+// control flowing through an unbuffered channel, so no locks are needed and
+// the race detector can verify the discipline. The single exception is `in`,
+// the staging buffer for events arriving from other domains, which has its
+// own mutex and is drained only by the coordinator between windows.
+type domain struct {
+	eng *Engine
+	id  int
+
+	procs []*Proc
+	runq  runQueue
+
+	reports   chan report
+	pushCount uint64 // run-queue push counter for FIFO tie-breaking
+	msgSeq    uint64 // per-domain message sequence counter
+
+	// windowH is the exclusive horizon of the current window: the domain may
+	// only execute events with virtual time strictly below it. Sequential
+	// domains keep it at maxTime.
+	windowH Time
+
+	active int // processors with bodies not yet done
+
+	// polling is set while a dispatcher evaluates a parked processor's
+	// PollWait closure inline; yields and blocks panic during it, enforcing
+	// the PollWait contract.
+	polling bool
+
+	elided   uint64
+	handoffs uint64
+	polls    uint64 // PollWait closures evaluated inline by a dispatcher
+
+	// in stages events sent to this domain by baton holders of other
+	// domains during a window. Senders append under mu; the coordinator
+	// drains between windows, when no window is executing.
+	in struct {
+		mu  sync.Mutex
+		evs []crossEvent
+	}
+
+	// windowCh delivers the next window horizon to the worker; resultCh
+	// returns nil or the first panic of the window.
+	windowCh chan Time
+	resultCh chan error
+}
+
+func newDomain(e *Engine, id int) *domain {
+	return &domain{
+		eng:     e,
+		id:      id,
+		reports: make(chan report),
+		windowH: maxTime,
+	}
+}
+
+// nextMsgSeq hands out message sequence numbers that are unique across the
+// whole engine yet assigned without cross-domain coordination: the sequence
+// space is striped by domain id. With a single domain the values are exactly
+// the sequential engine's 1, 2, 3, ...
+func (d *domain) nextMsgSeq() uint64 {
+	s := d.msgSeq*uint64(len(d.eng.domains)) + uint64(d.id) + 1
+	d.msgSeq++
+	return s
+}
+
+// enqueue makes target runnable at virtual time t in this domain's queue.
+func (d *domain) enqueue(target *Proc, t Time) {
+	target.state = stateQueued
+	target.queueSeq++
+	target.queuedAt = t
+	d.pushCount++
+	d.runq.push(entry{at: t, order: d.pushCount, procID: target.ID, seq: target.queueSeq})
+}
+
+// canElide reports whether a yield by the running processor until virtual
+// time t may skip the report/resume channel round-trip entirely. It may:
+// exactly one goroutine runs at a time within the domain, so the run queue is
+// quiescent, and if every runnable processor's resume time is strictly after
+// t the dispatch loop would pop the yielder's own entry and hand the baton
+// straight back. Ties are not elidable: FIFO order among equal times would
+// run the already queued processor first. Under a parallel window the resume
+// time must also stay inside the horizon — at or past it, other domains may
+// still produce earlier events, so the yielder must genuinely park. Stale
+// heap heads (entries superseded by a later WakeAt) are discarded on the way,
+// exactly as the dispatch loop would discard them when popped.
+func (d *domain) canElide(t Time) bool {
+	if !d.eng.fastYield || t >= d.windowH {
+		return false
+	}
+	for {
+		head, ok := d.runq.peek()
+		if !ok {
+			// No other runnable processor: the yielder would be re-dispatched
+			// immediately.
+			return true
+		}
+		q := d.eng.procs[head.procID]
+		if q.state != stateQueued || head.seq != q.queueSeq {
+			d.runq.pop() // stale entry; the dispatch loop would skip it too
+			continue
+		}
+		return t < head.at
+	}
+}
+
+// dispatchPoll evaluates a parked processor's PollWait closure inline on the
+// dispatching goroutine. On (false, next) the processor is re-queued and the
+// dispatcher keeps going — no goroutine switch happened. On done the poll is
+// cleared and the caller must resume the processor's goroutine for real. A
+// panic inside the poll (e.g. a spin-wait livelock bound) is captured and
+// returned as an error; the caller aborts the run with it.
+func (d *domain) dispatchPoll(q *Proc, at Time) (resume bool, err error) {
+	if at > q.now {
+		q.now = at
+	}
+	q.state = stateRunning
+	// This loop must mirror PollWait's own exactly — including the elision
+	// branch, which probes again without re-queueing. Re-queueing on every
+	// probe would advance pushCount and queueSeq on a different schedule
+	// than the processor's own goroutine would have, silently changing FIFO
+	// tie-breaking everywhere downstream.
+	for {
+		d.polls++
+		done, next := func() (done bool, next Time) {
+			d.polling = true
+			defer func() {
+				d.polling = false
+				if r := recover(); r != nil {
+					err = fmt.Errorf("sim: proc %d poll panicked: %v", q.ID, r)
+				}
+			}()
+			return q.poll()
+		}()
+		if err != nil {
+			return false, err
+		}
+		if done {
+			q.poll = nil
+			return true, nil
+		}
+		if next < q.now {
+			next = q.now
+		}
+		if d.canElide(next) {
+			d.elided++
+			q.lastYield = q.now
+			if next > q.now {
+				q.now = next
+			}
+			continue
+		}
+		q.lastYield = q.now
+		d.enqueue(q, next)
+		return false, nil
+	}
+}
+
+// handoff performs a yield dispatch entirely on the yielding processor's
+// goroutine: it enqueues p to resume at t (exactly as the worker does on a
+// yield report), pops the minimum runnable entry, and passes the baton to that
+// processor directly, parking p until its own entry is popped later. This is
+// bit-exact with routing through the worker — the enqueue and dispatch steps
+// are the same code the window loop runs, in the same order — but costs one
+// goroutine switch instead of two. Returns false if no successor exists
+// inside the window horizon; the caller must then fall back to the worker,
+// which closes the window.
+func (d *domain) handoff(p *Proc, t Time) bool {
+	d.enqueue(p, t)
+	for {
+		ent, ok := d.runq.peek()
+		if !ok {
+			return false
+		}
+		q := d.eng.procs[ent.procID]
+		if q.state != stateQueued || ent.seq != q.queueSeq {
+			d.runq.pop() // stale queue entry superseded by a later Wake
+			continue
+		}
+		if ent.at >= d.windowH {
+			// The next event lies at or past the horizon: only the worker may
+			// close the window and wait for the coordinator.
+			return false
+		}
+		d.runq.pop()
+		if q.poll != nil {
+			ok, err := d.dispatchPoll(q, ent.at)
+			if err != nil {
+				panic(err) // aborts the run via this goroutine's panic report
+			}
+			if !ok {
+				continue // re-queued without a goroutine switch
+			}
+		}
+		if ent.at > q.now {
+			q.now = ent.at
+		}
+		q.state = stateRunning
+		if q == p {
+			return true // own entry came straight back: keep running
+		}
+		d.handoffs++
+		q.resume <- struct{}{}
+		<-p.resume
+		return true
+	}
+}
+
+// dispatchBlocked marks p blocked and passes the baton to the next runnable
+// processor directly, parking p until a WakeAt re-queues it. p must be marked
+// blocked before anything else is dispatched: an inline poll evaluated from
+// this loop may deliver a message to p, and the resulting wake only re-queues
+// a processor it observes as parked. If that happens, p's own entry surfaces
+// in the queue and the loop returns true with p runnable again — exactly as
+// if the wake had arrived after p parked. Returns false when no runnable
+// processor exists inside the horizon; the caller must then report through
+// the worker so deadlock detection (or the window protocol) runs.
+func (d *domain) dispatchBlocked(p *Proc) bool {
+	p.state = stateBlocked
+	for {
+		ent, ok := d.runq.peek()
+		if !ok {
+			return false
+		}
+		q := d.eng.procs[ent.procID]
+		if q.state != stateQueued || ent.seq != q.queueSeq {
+			d.runq.pop() // stale entry; the dispatch loop would skip it too
+			continue
+		}
+		if ent.at >= d.windowH {
+			return false
+		}
+		d.runq.pop()
+		if q.poll != nil {
+			ok, err := d.dispatchPoll(q, ent.at)
+			if err != nil {
+				panic(err) // aborts the run via this goroutine's panic report
+			}
+			if !ok {
+				continue
+			}
+		}
+		if ent.at > q.now {
+			q.now = ent.at
+		}
+		q.state = stateRunning
+		if q == p {
+			return true // woken by an inline poll's delivery: stop blocking
+		}
+		d.handoffs++
+		q.resume <- struct{}{}
+		<-p.resume
+		return true
+	}
+}
+
+// window runs the domain's dispatch loop until the next runnable event lies
+// at or past horizon (exclusive), the queue drains, or a processor panics.
+// With horizon == maxTime this is exactly the sequential engine loop.
+func (d *domain) window(horizon Time) error {
+	d.windowH = horizon
+	for {
+		ent, ok := d.runq.peek()
+		if !ok {
+			return nil
+		}
+		p := d.eng.procs[ent.procID]
+		if p.state != stateQueued || ent.seq != p.queueSeq {
+			d.runq.pop() // stale queue entry superseded by a later Wake
+			continue
+		}
+		if ent.at >= horizon {
+			return nil
+		}
+		d.runq.pop()
+		if p.poll != nil {
+			ok, err := d.dispatchPoll(p, ent.at)
+			if err != nil {
+				// Unlike a body panic, the poll's owner goroutine is still
+				// parked (killParked unwinds it), so active is not decremented.
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if ent.at > p.now {
+			p.now = ent.at
+		}
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		// With direct handoff enabled the baton may pass between processor
+		// goroutines many times before anything is reported, so the reporter
+		// (r.p) is not necessarily the processor dispatched above.
+		r := <-d.reports
+		switch r.kind {
+		case reportYield:
+			d.enqueue(r.p, r.at)
+		case reportBlock:
+			r.p.state = stateBlocked
+		case reportParked:
+			// Reporter already holds its correct parked state; nothing to do.
+		case reportDone:
+			r.p.state = stateDone
+			d.active--
+		case reportPanic:
+			r.p.state = stateDone
+			d.active--
+			return r.err
+		}
+	}
+}
+
+// worker is the per-domain host goroutine of a parallel run: it executes one
+// window per command and reports the window's outcome. The coordinator closes
+// windowCh to shut it down.
+func (d *domain) worker() {
+	for horizon := range d.windowCh {
+		d.resultCh <- d.window(horizon)
+	}
+}
+
+// stage appends a cross-domain event for this (receiving) domain. Called by
+// baton holders of other domains during a window.
+func (d *domain) stage(ev crossEvent) {
+	d.in.mu.Lock()
+	d.in.evs = append(d.in.evs, ev)
+	d.in.mu.Unlock()
+}
+
+// nextEventTime returns the virtual time of the domain's earliest live queue
+// entry, or maxTime if none, discarding stale entries on the way. Called only
+// by the coordinator between windows.
+func (d *domain) nextEventTime() Time {
+	for {
+		ent, ok := d.runq.peek()
+		if !ok {
+			return maxTime
+		}
+		q := d.eng.procs[ent.procID]
+		if q.state != stateQueued || ent.seq != q.queueSeq {
+			d.runq.pop()
+			continue
+		}
+		return ent.at
+	}
+}
+
+// runParallel executes the simulation with one worker per domain under the
+// conservative window protocol:
+//
+//  1. Drain: apply every staged cross-domain event (deliveries and wakes) in
+//     deterministic (time, seq) order. No window is executing, so the
+//     coordinator owns all state.
+//  2. Horizon: compute T, the minimum next-event time over all domains. If no
+//     events remain the run is over (success if every processor finished,
+//     deadlock otherwise). Otherwise the safe horizon is H = T + lookahead:
+//     any event a domain executes before H happens strictly before the
+//     earliest instant at which another domain's current or future work could
+//     affect it, because every cross-domain interaction carries at least
+//     `lookahead` of virtual latency.
+//  3. Window: every worker executes its domain's events with time < H in
+//     parallel, staging outbound cross-domain events. The coordinator waits
+//     for all workers (this barrier is the null-message/horizon-refresh rule:
+//     an idle domain's worker returns immediately, implicitly promising it
+//     will produce nothing before H), then loops.
+//
+// See DESIGN.md §3b for the ordering proof.
+func (e *Engine) runParallel() error {
+	for _, d := range e.domains {
+		d.windowCh = make(chan Time)
+		d.resultCh = make(chan error)
+		go d.worker()
+	}
+	defer func() {
+		for _, d := range e.domains {
+			close(d.windowCh)
+		}
+	}()
+
+	var firstErr error
+	for {
+		e.drainCross()
+		if firstErr != nil {
+			e.killParked()
+			return firstErr
+		}
+		T := maxTime
+		active := 0
+		for _, d := range e.domains {
+			active += d.active
+			if t := d.nextEventTime(); t < T {
+				T = t
+			}
+		}
+		if active == 0 {
+			return nil
+		}
+		if T == maxTime {
+			err := e.deadlockError(active)
+			e.killParked()
+			return err
+		}
+		horizon := T + e.lookahead
+		if horizon < T { // overflow
+			horizon = maxTime
+		}
+		e.rounds++
+		for _, d := range e.domains {
+			d.windowCh <- horizon
+		}
+		for _, d := range e.domains {
+			if err := <-d.resultCh; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+}
+
+// drainCross applies all staged cross-domain events. Events are applied in
+// (time, seq) order — a deterministic total order independent of which
+// domains staged first — and every application uses the same code paths a
+// local delivery would (mailbox insert + wake), so parallel delivery is
+// bit-exact with sequential delivery whenever no two cross-domain messages
+// target the same processor at the same virtual instant (CrossTies counts
+// the exceptions; see DESIGN.md §3b).
+func (e *Engine) drainCross() {
+	var evs []crossEvent
+	for _, d := range e.domains {
+		d.in.mu.Lock()
+		evs = append(evs, d.in.evs...)
+		d.in.evs = d.in.evs[:0]
+		d.in.mu.Unlock()
+	}
+	if len(evs) == 0 {
+		return
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.msg.Seq != b.msg.Seq {
+			return a.msg.Seq < b.msg.Seq
+		}
+		if a.target != b.target {
+			return a.target < b.target
+		}
+		return a.from < b.from
+	})
+	for i, ev := range evs {
+		target := e.procs[ev.target]
+		switch ev.kind {
+		case crossDeliver:
+			if i > 0 && evs[i-1].kind == crossDeliver && evs[i-1].target == ev.target &&
+				evs[i-1].at == ev.at && evs[i-1].from != ev.from {
+				// Two cross-domain messages for one processor at the same
+				// instant from different domains: their relative order is
+				// deterministic (sequence stripe) but may differ from the
+				// sequential engine's global send order.
+				e.crossTies++
+			}
+			target.inbox.insert(ev.msg)
+			wakeLocal(target, ev.at)
+		case crossWake:
+			wakeLocal(target, ev.at)
+		}
+		e.crossEvents++
+	}
+}
+
+// checkLookahead panics if a cross-domain interaction is scheduled closer
+// than the declared lookahead: the conservative window protocol is only
+// correct if every cross-domain effect carries at least `lookahead` of
+// virtual latency, so a violation means the model layer's declared minimum
+// (e.g. memchan's cross-node latency) does not match its behavior.
+func (e *Engine) checkLookahead(sender *Proc, at Time) {
+	if at < sender.now+e.lookahead {
+		panic(fmt.Sprintf("sim: lookahead violation: proc %d (domain %d) at t=%d scheduled a cross-domain event at t=%d, closer than the declared lookahead %d",
+			sender.ID, sender.dom.id, sender.now, at, e.lookahead))
+	}
+}

@@ -43,19 +43,42 @@ func (mb *mailbox) insert(m Msg) {
 
 // Deliver places a message in the target processor's inbox and, if the target
 // is parked, arranges for it to be woken no later than the arrival time. It
-// must be called by the processor holding the baton.
+// must be called by a processor holding a baton — in parallel mode the sender
+// is identified by m.From, so cross-domain messages must be built with the
+// sender's NewMsg (or carry a valid From), and their arrival time must be at
+// least the engine's lookahead past the sender's clock.
 func (p *Proc) Deliver(m Msg) {
-	if m.Seq == 0 {
-		m.Seq = p.eng.nextMsgSeq()
+	e := p.eng
+	if !e.parallelActive {
+		if m.Seq == 0 {
+			m.Seq = p.dom.nextMsgSeq()
+		}
+		p.inbox.insert(m)
+		wakeLocal(p, m.At)
+		return
 	}
-	p.inbox.insert(m)
-	p.eng.WakeAt(p, m.At)
+	if m.From < 0 || m.From >= len(e.procs) {
+		panic("sim: parallel Deliver needs a valid sender (Msg.From) to identify the sending domain")
+	}
+	sender := e.procs[m.From]
+	if m.Seq == 0 {
+		m.Seq = sender.dom.nextMsgSeq()
+	}
+	if sender.dom == p.dom {
+		p.inbox.insert(m)
+		wakeLocal(p, m.At)
+		return
+	}
+	// sender is the baton holder of its own domain (Deliver's contract), so
+	// its clock is safe to read from this goroutine.
+	e.checkLookahead(sender, m.At)
+	p.dom.stage(crossEvent{kind: crossDeliver, target: p.ID, at: m.At, from: sender.dom.id, msg: m})
 }
 
 // NewMsg builds a message stamped with a fresh global sequence number, sent
 // by this processor.
 func (p *Proc) NewMsg(at Time, kind int, data any) Msg {
-	return Msg{At: at, Seq: p.eng.nextMsgSeq(), From: p.ID, Kind: kind, Data: data}
+	return Msg{At: at, Seq: p.dom.nextMsgSeq(), From: p.ID, Kind: kind, Data: data}
 }
 
 // TryRecv removes and returns the earliest message whose arrival time is not

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testLookahead is the declared minimum cross-domain latency used by the
+// parallel workloads below. Every cross-node interaction they issue targets a
+// time at least this far past the sender's clock.
+const testLookahead = Time(5000)
+
+// clusterWorkload drives an irregular mix of local compute, same-node and
+// cross-node messaging, spin waits, and block/wake pairs across a multi-node
+// cluster, and returns the final clocks plus the engine for counter
+// inspection. The same body runs under any engine mode, so it doubles as the
+// sequential/parallel equivalence oracle.
+func clusterWorkload(t *testing.T, nodes, ppn int, parallel bool) ([]Time, *Engine) {
+	t.Helper()
+	e := mustEngine(t, nodes, ppn)
+	e.SetParallel(parallel)
+	e.SetLookahead(testLookahead)
+	n := e.NumProcs()
+	// Each processor drains exactly the number of messages addressed to it:
+	// waiting on InboxLen would observe in-flight (invisible) messages, which
+	// the staged cross-domain path intentionally does not expose.
+	expect := make([]int, n)
+	for i := 0; i < n; i++ {
+		for step := 0; step < 40; step++ {
+			if tgt := (i + step + 1) % n; tgt != i {
+				expect[tgt]++
+			}
+		}
+	}
+	for i, p := range e.Procs() {
+		i := i
+		e.Go(p, func(p *Proc) {
+			received := 0
+			for step := 0; step < 40; step++ {
+				p.Advance(Time((i*131 + step*71) % 900))
+				switch step % 3 {
+				case 0:
+					p.Yield()
+				case 1:
+					p.YieldIfQuantum(300)
+				}
+				target := e.Proc((i + step + 1) % n)
+				if target != p {
+					// Cross-node traffic must carry at least the declared
+					// lookahead of latency; same-node traffic may be faster.
+					lat := Time(200 + i)
+					if target.Node != p.Node {
+						lat = testLookahead + Time(10*i+step)
+					}
+					target.Deliver(p.NewMsg(p.Now()+lat, step, nil))
+					p.WakeAt(target, p.Now()+lat)
+				}
+				if step%7 == 3 {
+					// Spin until the inbox is visibly non-empty or a bounded
+					// number of probes pass, advancing like a backoff loop.
+					probes := 0
+					p.PollWait(func() (bool, Time) {
+						if _, ok := p.PeekInbox(); ok || probes > 25 {
+							return true, 0
+						}
+						probes++
+						p.Advance(150)
+						return false, p.Now()
+					})
+				}
+				for {
+					if _, ok := p.TryRecv(); !ok {
+						break
+					}
+					received++
+				}
+			}
+			for received < expect[i] {
+				p.Recv("drain")
+				received++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]Time, n)
+	for i, p := range e.Procs() {
+		clocks[i] = p.Now()
+	}
+	return clocks, e
+}
+
+// TestParallelEquivalence checks the tentpole claim: the node-parallel window
+// protocol produces exactly the same virtual-time results as the sequential
+// engine for a workload whose cross-node interactions respect the declared
+// lookahead.
+func TestParallelEquivalence(t *testing.T) {
+	seq, se := clusterWorkload(t, 4, 2, false)
+	par, pe := clusterWorkload(t, 4, 2, true)
+	if se.ParallelActive() {
+		t.Fatal("sequential run reported parallelActive")
+	}
+	if !pe.ParallelActive() {
+		t.Fatal("parallel run did not engage parallel mode")
+	}
+	if pe.Domains() != 4 {
+		t.Fatalf("Domains = %d, want 4", pe.Domains())
+	}
+	if pe.HorizonRounds() == 0 {
+		t.Fatal("parallel run executed zero windows")
+	}
+	if pe.CrossEvents() == 0 {
+		t.Fatal("parallel run drained zero cross-domain events; workload not exercising the protocol")
+	}
+	if ties := pe.CrossTies(); ties != 0 {
+		t.Fatalf("workload produced %d cross-domain ties; equivalence only guaranteed at zero", ties)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("proc %d clock differs: sequential=%d parallel=%d", i, seq[i], par[i])
+		}
+	}
+	if se.MaxTime() != pe.MaxTime() {
+		t.Fatalf("MaxTime differs: sequential=%d parallel=%d", se.MaxTime(), pe.MaxTime())
+	}
+}
+
+// TestParallelDeterminism runs the parallel engine repeatedly at different
+// GOMAXPROCS settings: host scheduling freedom must not leak into any final
+// clock.
+func TestParallelDeterminism(t *testing.T) {
+	ref, _ := clusterWorkload(t, 4, 2, true)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			got, _ := clusterWorkload(t, 4, 2, true)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("GOMAXPROCS=%d rep=%d: proc %d clock %d, want %d", procs, rep, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRequiresLookaheadAndNodes checks the fallback rule: parallel
+// mode only engages on a multi-node cluster with a positive declared
+// lookahead; otherwise the engine runs sequentially.
+func TestParallelRequiresLookaheadAndNodes(t *testing.T) {
+	single := mustEngine(t, 1, 4)
+	single.SetParallel(true)
+	single.SetLookahead(testLookahead)
+	if single.Domains() != 1 {
+		t.Fatalf("single-node Domains = %d, want 1", single.Domains())
+	}
+
+	noLa := mustEngine(t, 4, 1)
+	noLa.SetParallel(true)
+	if noLa.Domains() != 1 {
+		t.Fatalf("zero-lookahead Domains = %d, want 1", noLa.Domains())
+	}
+
+	e := mustEngine(t, 1, 2)
+	e.SetParallel(true)
+	e.SetLookahead(testLookahead)
+	for _, p := range e.Procs() {
+		e.Go(p, func(p *Proc) { p.Advance(10); p.Yield() })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.ParallelActive() {
+		t.Fatal("single-node engine activated parallel mode")
+	}
+	if e.HorizonRounds() != 0 {
+		t.Fatal("sequential fallback counted horizon rounds")
+	}
+}
+
+// TestLookaheadViolationFailsRun checks that a cross-domain delivery closer
+// than the declared lookahead aborts the run with a diagnostic instead of
+// silently racing the window protocol.
+func TestLookaheadViolationFailsRun(t *testing.T) {
+	e := mustEngine(t, 2, 1)
+	e.SetParallel(true)
+	e.SetLookahead(testLookahead)
+	e.Go(e.Proc(0), func(p *Proc) {
+		target := e.Proc(1)
+		target.Deliver(p.NewMsg(p.Now()+1, 0, nil)) // far below lookahead
+	})
+	e.Go(e.Proc(1), func(p *Proc) { p.Recv("waiting") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "lookahead violation") {
+		t.Fatalf("Run = %v, want lookahead violation", err)
+	}
+}
+
+// TestEngineWakeAtPanicsInParallel checks that the caller-ambiguous
+// Engine.WakeAt form is rejected in parallel mode (Proc.WakeAt names the
+// sending domain and must be used instead).
+func TestEngineWakeAtPanicsInParallel(t *testing.T) {
+	e := mustEngine(t, 2, 1)
+	e.SetParallel(true)
+	e.SetLookahead(testLookahead)
+	e.Go(e.Proc(0), func(p *Proc) {
+		e.WakeAt(e.Proc(1), p.Now()+testLookahead)
+	})
+	e.Go(e.Proc(1), func(p *Proc) { p.Block("waiting for wake") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("Run = %v, want Engine.WakeAt rejection", err)
+	}
+}
+
+// TestProcWakeAtCrossDomain checks that a cross-domain Proc.WakeAt releases a
+// blocked processor in another domain at the requested time.
+func TestProcWakeAtCrossDomain(t *testing.T) {
+	e := mustEngine(t, 2, 1)
+	e.SetParallel(true)
+	e.SetLookahead(testLookahead)
+	const wakeAt = Time(12345 + testLookahead)
+	e.Go(e.Proc(0), func(p *Proc) {
+		p.Advance(12345)
+		p.WakeAt(e.Proc(1), p.Now()+testLookahead)
+	})
+	var resumed Time
+	e.Go(e.Proc(1), func(p *Proc) {
+		p.Block("cross-domain wake")
+		resumed = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed != wakeAt {
+		t.Fatalf("woken at t=%d, want %d", resumed, wakeAt)
+	}
+}
+
+// TestParallelDeadlockUnwinds checks that a cross-domain deadlock is detected
+// (every domain idle with processors still blocked) and that the abort path
+// unwinds every parked goroutine, including poll-parked ones.
+func TestParallelDeadlockUnwinds(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		e := mustEngine(t, 2, 2)
+		e.SetParallel(true)
+		e.SetLookahead(testLookahead)
+		for _, p := range e.Procs() {
+			e.Go(p, func(p *Proc) {
+				p.Advance(Time(p.ID * 100))
+				p.Yield()
+				p.Block("parallel leak-test: never woken")
+			})
+		}
+		err := e.Run()
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("Run = %v, want deadlock", err)
+		}
+	}
+	if n := waitGoroutines(base+2, 5*time.Second); n > base+2 {
+		t.Fatalf("goroutines leaked after parallel deadlocks: %d -> %d", base, n)
+	}
+}
+
+// TestParallelPanicUnwinds checks that a panic in one domain aborts the whole
+// run and unwinds processors parked in every other domain.
+func TestParallelPanicUnwinds(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		e := mustEngine(t, 2, 2)
+		e.SetParallel(true)
+		e.SetLookahead(testLookahead)
+		e.Go(e.Proc(0), func(p *Proc) {
+			p.Advance(500)
+			p.Yield()
+			panic("parallel leak-test boom")
+		})
+		e.Go(e.Proc(1), func(p *Proc) {
+			for {
+				p.Advance(100)
+				p.Yield()
+			}
+		})
+		e.Go(e.Proc(2), func(p *Proc) { p.Block("parallel leak-test: parked") })
+		e.Go(e.Proc(3), func(p *Proc) { p.YieldUntil(Second) })
+		err := e.Run()
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("Run = %v, want panic propagation", err)
+		}
+	}
+	if n := waitGoroutines(base+2, 5*time.Second); n > base+2 {
+		t.Fatalf("goroutines leaked after parallel panics: %d -> %d", base, n)
+	}
+}
+
+// BenchmarkParallelSweep measures the parallel engine on a cross-node
+// messaging workload; compare against the same workload sequentially by
+// toggling the mode constant in the loop below.
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for iter := 0; iter < b.N; iter++ {
+				e, err := NewEngine(Config{Nodes: 4, ProcsPerNode: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.SetParallel(parallel)
+				e.SetLookahead(testLookahead)
+				n := e.NumProcs()
+				for i, p := range e.Procs() {
+					i := i
+					e.Go(p, func(p *Proc) {
+						for step := 0; step < 300; step++ {
+							p.Advance(Time((i*37+step*13)%700 + 50))
+							p.Yield()
+							target := e.Proc((i + 1) % n)
+							if target != p {
+								lat := Time(300)
+								if target.Node != p.Node {
+									lat = testLookahead
+								}
+								target.Deliver(p.NewMsg(p.Now()+lat, step, nil))
+							}
+							for {
+								if _, ok := p.TryRecv(); !ok {
+									break
+								}
+							}
+						}
+						for p.InboxLen() > 0 {
+							p.Recv("drain")
+						}
+					})
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

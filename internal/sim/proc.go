@@ -18,6 +18,7 @@ type Proc struct {
 	CPU int
 
 	eng    *Engine
+	dom    *domain
 	body   func(*Proc)
 	resume chan struct{}
 
@@ -37,6 +38,10 @@ type Proc struct {
 	// killed is set by the engine when a failed Run unwinds parked
 	// goroutines; the next resume exits via runtime.Goexit.
 	killed bool
+
+	// poll, when non-nil, lets dispatchers evaluate this parked processor's
+	// wait condition inline instead of resuming its goroutine (see PollWait).
+	poll func() (bool, Time)
 
 	inbox mailbox
 
@@ -84,18 +89,18 @@ func (p *Proc) run() {
 			return
 		}
 		if r != nil {
-			p.eng.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d panicked: %v", p.ID, r)}
+			p.dom.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d panicked: %v", p.ID, r)}
 			return
 		}
 		if !done {
 			// The body exited via runtime.Goexit (e.g. t.Fatalf in a test
 			// body). Report it so the engine does not hang.
-			p.eng.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d exited abnormally (runtime.Goexit)", p.ID)}
+			p.dom.reports <- report{p: p, kind: reportPanic, err: fmt.Errorf("sim: proc %d exited abnormally (runtime.Goexit)", p.ID)}
 		}
 	}()
 	p.body(p)
 	done = true
-	p.eng.reports <- report{p: p, kind: reportDone}
+	p.dom.reports <- report{p: p, kind: reportDone}
 }
 
 // Yield hands the baton back to the scheduler and resumes when this processor
@@ -116,13 +121,16 @@ func (p *Proc) YieldUntil(t Time) {
 }
 
 func (p *Proc) yieldUntil(t Time) {
-	if p.eng.canElide(t) {
+	if p.dom.polling {
+		panic(fmt.Sprintf("sim: proc %d yielded inside a dispatcher-run poll (PollWait closures must not yield)", p.ID))
+	}
+	if p.dom.canElide(t) {
 		// Fast path: the scheduler would hand the baton straight back, so
 		// perform exactly the state updates the round-trip would have made —
 		// reset the quantum origin and advance the clock to the resume time —
 		// and keep running. Bit-exact with the slow path: no other processor
 		// could have run in between.
-		p.eng.elided++
+		p.dom.elided++
 		p.lastYield = p.now
 		if t > p.now {
 			p.now = t
@@ -130,18 +138,96 @@ func (p *Proc) yieldUntil(t Time) {
 		return
 	}
 	p.lastYield = p.now
-	if p.eng.fastYield && p.eng.handoff(p, t) {
-		// Baton passed (or bounced straight back) without waking the engine.
+	if p.eng.fastYield && p.dom.handoff(p, t) {
+		// Baton passed (or bounced straight back) without waking the dispatcher.
 		if p.killed {
 			runtime.Goexit()
 		}
 		return
 	}
 	p.queuedAt = t
-	p.eng.reports <- report{p: p, kind: reportYield, at: t}
+	p.dom.reports <- report{p: p, kind: reportYield, at: t}
 	<-p.resume
 	if p.killed {
 		runtime.Goexit()
+	}
+}
+
+// PollWait repeatedly evaluates poll until it reports done. A poll returning
+// (false, next) means "re-evaluate me at virtual time next"; the processor's
+// clock is expected to already be at next (polls advance it themselves, like
+// a spin loop's backoff sleep).
+//
+// This is the scheduling primitive behind spin waits. Its value over a plain
+// sleep-yield loop is host cost: when the processor parks, the poll closure
+// is registered with the scheduler, and whichever goroutine dispatches the
+// processor's queue entry — a peer's direct handoff or the domain worker —
+// evaluates the poll inline, re-queueing on false without ever switching to
+// this goroutine. The processor's goroutine is only resumed when the poll
+// reports done. A contended spin that used to cost two goroutine switches
+// per probe costs zero. This is bit-exact with the yield loop: the closure
+// runs at exactly the same virtual times, in the same global order, with the
+// same effects — only the host goroutine executing it differs.
+//
+// The contract is that poll must not yield, block, park, or otherwise touch
+// the scheduler (delivering messages and waking other processors is fine) —
+// it runs on a goroutine that already holds a baton mid-dispatch. Violations
+// panic. Polls also must not close over goroutine identity (goroutine-local
+// state, testing.T.Helper, ...).
+func (p *Proc) PollWait(poll func() (done bool, next Time)) {
+	for {
+		done, next := poll()
+		if done {
+			return
+		}
+		if next < p.now {
+			next = p.now
+		}
+		if p.dom.canElide(next) {
+			// Nothing else can run before next: skip the park entirely,
+			// exactly as an elided yield would.
+			p.dom.elided++
+			p.lastYield = p.now
+			if next > p.now {
+				p.now = next
+			}
+			continue
+		}
+		p.lastYield = p.now
+		if !p.eng.fastYield {
+			// Slow path pinned (SIM_NO_FASTPATH): behave exactly like a
+			// sleep-yield loop, evaluating every poll on this goroutine.
+			p.queuedAt = next
+			p.dom.reports <- report{p: p, kind: reportYield, at: next}
+			<-p.resume
+			if p.killed {
+				runtime.Goexit()
+			}
+			continue
+		}
+		p.poll = poll
+		if p.dom.handoff(p, next) {
+			if p.killed {
+				runtime.Goexit()
+			}
+			if p.poll == nil {
+				return // a dispatcher saw the poll report done and resumed us
+			}
+			p.poll = nil // own entry bounced straight back: keep polling here
+			continue
+		}
+		// No successor inside the window: report to the worker, which will
+		// evaluate the poll inline from its dispatch loop.
+		p.queuedAt = next
+		p.dom.reports <- report{p: p, kind: reportYield, at: next}
+		<-p.resume
+		if p.killed {
+			runtime.Goexit()
+		}
+		if p.poll == nil {
+			return
+		}
+		p.poll = nil
 	}
 }
 
@@ -172,6 +258,9 @@ func (p *Proc) CheckpointQuiet(quantum Time) bool {
 // processor does not park. Callers must therefore treat Block as a condition
 // variable wait: re-check the condition in a loop.
 func (p *Proc) Block(reason string) {
+	if p.dom.polling {
+		panic(fmt.Sprintf("sim: proc %d blocked inside a dispatcher-run poll (PollWait closures must not block)", p.ID))
+	}
 	if p.wakeToken {
 		p.wakeToken = false
 		p.AdvanceTo(p.wakeTokenAt)
@@ -179,11 +268,18 @@ func (p *Proc) Block(reason string) {
 	}
 	p.blockReason = reason
 	p.lastYield = p.now
-	if p.eng.fastYield && p.eng.dispatchBlocked(p) {
+	if p.eng.fastYield && p.dom.dispatchBlocked(p) {
 		// Baton passed directly; a WakeAt re-queued us and a dispatcher
-		// (engine or peer) handed it back.
+		// (worker or peer) handed it back.
 	} else {
-		p.eng.reports <- report{p: p, kind: reportBlock}
+		kind := reportBlock
+		if p.state == stateQueued {
+			// An inline poll's delivery woke us while dispatchBlocked was
+			// looking for a successor, but our entry lies past the window
+			// horizon: park as queued, not blocked, so the entry stays live.
+			kind = reportParked
+		}
+		p.dom.reports <- report{p: p, kind: kind}
 		<-p.resume
 	}
 	if p.killed {
@@ -193,35 +289,53 @@ func (p *Proc) Block(reason string) {
 	p.wakeToken = false // the wake that resumed us is consumed
 }
 
-// WakeAt makes the target processor runnable no earlier than virtual time t
-// and deposits a wake token consumed by the target's next Block. If the
-// target is blocked it is queued to resume at max(its clock, t). If it is
-// already queued with a later resume time, the earlier time wins. WakeAt must
-// be called by the processor currently holding the baton (or by the engine
-// before Run).
-func (e *Engine) WakeAt(target *Proc, t Time) {
+// wakeLocal makes the target processor runnable no earlier than virtual time
+// t in its own domain and deposits a wake token consumed by the target's next
+// Block. If the target is blocked it is queued to resume at max(its clock,
+// t). If it is already queued with a later resume time, the earlier time
+// wins. Must only run while the target's domain is quiescent for the caller:
+// by the domain's own baton holder, or by the coordinator between windows.
+func wakeLocal(target *Proc, t Time) {
 	if !target.wakeToken || t < target.wakeTokenAt {
 		target.wakeToken = true
 		target.wakeTokenAt = t
 	}
 	switch target.state {
 	case stateBlocked:
-		e.enqueue(target, t)
+		target.dom.enqueue(target, t)
 	case stateQueued:
 		if t < target.queuedAt {
 			// Supersede the stale entry: pushing with a fresh sequence stamp
 			// invalidates the old one, which is skipped when popped.
-			e.enqueue(target, t)
+			target.dom.enqueue(target, t)
 		}
 	}
 }
 
-func (e *Engine) enqueue(target *Proc, t Time) {
-	target.state = stateQueued
-	target.queueSeq++
-	target.queuedAt = t
-	e.pushCount++
-	e.runq.push(entry{at: t, order: e.pushCount, procID: target.ID, seq: target.queueSeq})
+// WakeAt makes the target processor runnable no earlier than virtual time t.
+// It must be called by the processor currently holding the baton (or by the
+// engine before Run). In parallel mode the engine cannot tell which domain
+// the calling goroutine belongs to, so this form is only legal sequentially;
+// use Proc.WakeAt, which names the caller, instead.
+func (e *Engine) WakeAt(target *Proc, t Time) {
+	if e.parallelActive {
+		panic("sim: Engine.WakeAt is ambiguous in parallel mode; use the caller's Proc.WakeAt")
+	}
+	wakeLocal(target, t)
+}
+
+// WakeAt makes target runnable no earlier than virtual time t, with p — the
+// processor currently holding its domain's baton — as the caller. Within a
+// domain (or a sequential engine) this is the plain wake. Across domains the
+// wake is staged and applied by the coordinator at the next window boundary;
+// t must then be at least the engine's lookahead past p's clock.
+func (p *Proc) WakeAt(target *Proc, t Time) {
+	if !p.eng.parallelActive || target.dom == p.dom {
+		wakeLocal(target, t)
+		return
+	}
+	p.eng.checkLookahead(p, t)
+	target.dom.stage(crossEvent{kind: crossWake, target: target.ID, at: t, from: p.dom.id})
 }
 
 // SleepUntil advances the processor's clock to virtual time t and yields, so

@@ -1,12 +1,16 @@
 // Package sim provides a deterministic discrete-event simulation engine for a
 // cluster of SMP nodes.
 //
-// Each simulated processor is a goroutine with its own virtual clock. Exactly
-// one processor goroutine executes at any moment: control is handed back and
-// forth between the engine and the running processor through unbuffered
-// channels, so the simulation needs no locks and is bit-deterministic.
+// Each simulated processor is a goroutine with its own virtual clock. The
+// processors are partitioned into scheduling domains; exactly one processor
+// goroutine executes at any moment within a domain: control is handed back
+// and forth between the domain's dispatcher and the running processor through
+// unbuffered channels, so intra-domain scheduling needs no locks and is
+// bit-deterministic. A sequential engine (the default) has a single domain
+// holding every processor, which is the classic one-goroutine-at-a-time
+// discipline.
 //
-// The scheduling rule is the classic conservative one: the engine always
+// The scheduling rule is the classic conservative one: the dispatcher always
 // resumes the runnable processor with the minimum virtual clock (ties are
 // FIFO in queue-push order, which is itself deterministic). Processors
 // accumulate virtual time locally with Advance and must Yield before
@@ -16,6 +20,16 @@
 // processor can still perform an earlier conflicting action: all runnable
 // processors have clocks >= t and blocked processors can only be woken at
 // times chosen by already-ordered events.
+//
+// Parallel mode (SetParallel + SetLookahead, or SIM_PARALLEL=1) splits the
+// cluster into one domain per node and advances the domains concurrently
+// under a conservative window protocol: every cross-domain interaction must
+// carry at least the declared lookahead of virtual latency, so each domain
+// can safely execute all events below the global horizon
+// min(next event) + lookahead without hearing from the others. Cross-domain
+// messages and wakes are staged in per-domain buffers and applied by the
+// coordinator between windows in deterministic (time, seq) order. See
+// DESIGN.md §3b for the ordering argument and the exactness condition.
 //
 // Timing model: virtual time is int64 nanoseconds (type Time). Real wall-clock
 // time plays no role anywhere in the package.
@@ -39,6 +53,11 @@ const NoFastPathEnv = "SIM_NO_FASTPATH"
 // runtimes created from now on (the environment is consulted at creation
 // time, not per operation).
 func FastPathEnabled() bool { return os.Getenv(NoFastPathEnv) == "" }
+
+// ParallelRequested reports whether SIM_PARALLEL asks engines created from
+// now on to default to node-parallel execution. A positive lookahead must
+// still be declared per engine before parallelism engages.
+func ParallelRequested() bool { return os.Getenv(ParallelEnv) != "" }
 
 // Time is virtual time in nanoseconds.
 type Time = int64
@@ -104,6 +123,10 @@ type reportKind uint8
 const (
 	reportYield reportKind = iota
 	reportBlock
+	// reportParked hands the baton to the worker without changing the
+	// reporter's state: it is already queued (a wake raced with its block) or
+	// already recorded. The worker just continues its dispatch loop.
+	reportParked
 	reportDone
 	reportPanic
 )
@@ -115,21 +138,28 @@ type report struct {
 	err  error
 }
 
-// Engine owns the simulated cluster: its processors, the run queue, and the
-// global event ordering. Create one with NewEngine, add processors with
-// NewProc, give each a body with Go, then call Run.
+// Engine owns the simulated cluster: its processors, the scheduling domains,
+// and the global event ordering. Create one with NewEngine, add processors
+// with NewProc, give each a body with Go, then call Run.
 type Engine struct {
-	cfg       Config
-	procs     []*Proc
-	runq      runQueue
-	reports   chan report
-	msgSeq    uint64 // global sequence for deterministic message tie-breaking
-	pushCount uint64 // global run-queue push counter for FIFO tie-breaking
-	started   bool
+	cfg     Config
+	procs   []*Proc
+	domains []*domain
+	started bool
 
-	fastYield bool   // elide scheduler round-trips when provably inconsequential
-	elided    uint64 // yields satisfied without a scheduler round-trip
-	handoffs  uint64 // baton passes that bypassed the engine goroutine
+	fastYield bool // elide scheduler round-trips when provably inconsequential
+
+	// parallel requests node-parallel execution; it only engages when
+	// lookahead > 0 and the cluster has more than one node.
+	parallel  bool
+	lookahead Time
+	// parallelActive is set at Run once the engine has committed to more
+	// than one domain.
+	parallelActive bool
+
+	rounds      uint64 // horizon windows executed (parallel mode)
+	crossEvents uint64 // cross-domain events drained (parallel mode)
+	crossTies   uint64 // same-instant cross-domain delivery collisions
 }
 
 // NewEngine creates an engine for the given cluster shape and instantiates
@@ -141,9 +171,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:       cfg,
-		reports:   make(chan report),
 		fastYield: FastPathEnabled(),
+		parallel:  ParallelRequested(),
 	}
+	d := newDomain(e, 0)
+	e.domains = []*domain{d}
 	for n := 0; n < cfg.Nodes; n++ {
 		for c := 0; c < cfg.ProcsPerNode; c++ {
 			p := &Proc{
@@ -151,9 +183,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 				Node:   n,
 				CPU:    c,
 				eng:    e,
+				dom:    d,
 				resume: make(chan struct{}),
 			}
 			e.procs = append(e.procs, p)
+			d.procs = append(d.procs, p)
 		}
 	}
 	return e, nil
@@ -189,41 +223,110 @@ func (e *Engine) Go(p *Proc, body func(*Proc)) {
 // path explicitly; must be called before Run.
 func (e *Engine) SetFastYield(on bool) { e.fastYield = on }
 
+// SetParallel requests (or suppresses) node-parallel execution, overriding
+// the SIM_PARALLEL environment default. Parallel execution only engages when
+// a positive lookahead has also been declared with SetLookahead and the
+// cluster has more than one node; otherwise the engine runs sequentially.
+// Must be called before Run.
+func (e *Engine) SetParallel(on bool) { e.parallel = on }
+
+// SetLookahead declares the minimum virtual latency of every cross-domain
+// (cross-node) interaction: any Deliver or WakeAt that crosses domains must
+// target a time at least `la` past the sender's clock, or Run fails. The
+// model layer owns this number (e.g. memchan.Params.MinCrossNodeLatency);
+// declaring it too large is unsafe, too small merely shrinks the windows.
+// Must be called before Run.
+func (e *Engine) SetLookahead(la Time) {
+	if la < 0 {
+		panic(fmt.Sprintf("sim: negative lookahead %d", la))
+	}
+	e.lookahead = la
+}
+
+// Domains returns the number of scheduling domains the engine committed to
+// at Run: 1 for sequential execution, Nodes for parallel. Before Run it
+// reports what the current settings would commit to.
+func (e *Engine) Domains() int {
+	if e.started {
+		return len(e.domains)
+	}
+	if e.parallel && e.lookahead > 0 && e.cfg.Nodes > 1 {
+		return e.cfg.Nodes
+	}
+	return 1
+}
+
+// ParallelActive reports whether Run committed to more than one domain.
+func (e *Engine) ParallelActive() bool { return e.parallelActive }
+
 // ElidedYields returns the number of yields that were satisfied without a
 // scheduler round-trip. Purely observational (tests and benchmarks).
-func (e *Engine) ElidedYields() uint64 { return e.elided }
+func (e *Engine) ElidedYields() uint64 {
+	var n uint64
+	for _, d := range e.domains {
+		n += d.elided
+	}
+	return n
+}
 
 // DirectHandoffs returns the number of baton passes that went directly from
-// one processor goroutine to the next without waking the engine goroutine.
+// one processor goroutine to the next without waking the dispatcher.
 // Purely observational (tests and benchmarks).
-func (e *Engine) DirectHandoffs() uint64 { return e.handoffs }
-
-// canElide reports whether a yield by the running processor until virtual
-// time t may skip the report/resume channel round-trip entirely. It may:
-// exactly one goroutine runs at a time, so the run queue is quiescent, and if
-// every runnable processor's resume time is strictly after t the dispatch
-// loop would pop the yielder's own entry and hand the baton straight back.
-// Ties are not elidable: FIFO order among equal times would run the already
-// queued processor first. Stale heap heads (entries superseded by a later
-// WakeAt) are discarded on the way, exactly as the dispatch loop would
-// discard them when popped.
-func (e *Engine) canElide(t Time) bool {
-	if !e.fastYield {
-		return false
+func (e *Engine) DirectHandoffs() uint64 {
+	var n uint64
+	for _, d := range e.domains {
+		n += d.handoffs
 	}
-	for {
-		head, ok := e.runq.peek()
-		if !ok {
-			// No other runnable processor: the yielder would be re-dispatched
-			// immediately.
-			return true
-		}
-		q := e.procs[head.procID]
-		if q.state != stateQueued || head.seq != q.queueSeq {
-			e.runq.pop() // stale entry; the dispatch loop would skip it too
-			continue
-		}
-		return t < head.at
+	return n
+}
+
+// InlinePolls returns the number of PollWait closures that dispatchers
+// evaluated inline, without switching to the polling processor's goroutine.
+// Purely observational (tests and benchmarks).
+func (e *Engine) InlinePolls() uint64 {
+	var n uint64
+	for _, d := range e.domains {
+		n += d.polls
+	}
+	return n
+}
+
+// HorizonRounds returns the number of conservative windows a parallel run
+// executed. Zero for sequential runs. Purely observational.
+func (e *Engine) HorizonRounds() uint64 { return e.rounds }
+
+// CrossEvents returns the number of cross-domain events (deliveries and
+// wakes) the coordinator drained. Zero for sequential runs.
+func (e *Engine) CrossEvents() uint64 { return e.crossEvents }
+
+// CrossTies returns the number of same-instant cross-domain delivery
+// collisions observed: pairs of messages from different domains to the same
+// processor at the same virtual time. When zero, the parallel run's message
+// order is identical to the sequential engine's (see DESIGN.md §3b); when
+// non-zero the run is still deterministic, but ties were broken by sequence
+// stripe instead of global send order.
+func (e *Engine) CrossTies() uint64 { return e.crossTies }
+
+// partition commits the engine to its final domain layout. Sequential
+// engines keep the single domain built by NewEngine; parallel engines get
+// one domain per node.
+func (e *Engine) partition() {
+	if !(e.parallel && e.lookahead > 0 && e.cfg.Nodes > 1) {
+		return
+	}
+	d0 := e.domains[0]
+	if d0.runq.len() > 0 || d0.msgSeq != 0 {
+		panic("sim: deliveries or wakes before Run are not supported in parallel mode")
+	}
+	e.parallelActive = true
+	e.domains = make([]*domain, e.cfg.Nodes)
+	for i := range e.domains {
+		e.domains[i] = newDomain(e, i)
+	}
+	for _, p := range e.procs {
+		d := e.domains[p.Node]
+		p.dom = d
+		d.procs = append(d.procs, p)
 	}
 }
 
@@ -237,131 +340,49 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: engine already ran")
 	}
 	e.started = true
+	e.partition()
 
-	active := 0
 	for _, p := range e.procs {
 		if p.body == nil {
 			p.state = stateDone
 			continue
 		}
-		active++
-		e.enqueue(p, 0)
+		p.dom.active++
+		p.dom.enqueue(p, 0)
 		go p.run()
 	}
 
-	var firstErr error
-	for active > 0 {
-		ent, ok := e.runq.pop()
-		if !ok {
-			err := e.deadlockError(active)
-			e.killParked()
-			return err
-		}
-		p := e.procs[ent.procID]
-		if p.state != stateQueued || ent.seq != p.queueSeq {
-			continue // stale queue entry superseded by a later Wake
-		}
-		if ent.at > p.now {
-			p.now = ent.at
-		}
-		p.state = stateRunning
-		p.resume <- struct{}{}
-		// With direct handoff enabled the baton may pass between processor
-		// goroutines many times before anything is reported, so the reporter
-		// (r.p) is not necessarily the processor dispatched above.
-		r := <-e.reports
-		switch r.kind {
-		case reportYield:
-			e.enqueue(r.p, r.at)
-		case reportBlock:
-			r.p.state = stateBlocked
-		case reportDone:
-			r.p.state = stateDone
-			active--
-		case reportPanic:
-			r.p.state = stateDone
-			active--
-			if firstErr == nil {
-				firstErr = r.err
-			}
+	if e.parallelActive {
+		return e.runParallel()
+	}
+
+	// Sequential execution: the single domain runs one unbounded window per
+	// dispatch epoch. window returns on panic (error), or with the run queue
+	// drained — success if every processor finished, deadlock otherwise.
+	d := e.domains[0]
+	for d.active > 0 {
+		if err := d.window(maxTime); err != nil {
 			// The simulation result is already invalid; unwind the parked
 			// goroutines so an engine-heavy test run does not accumulate
 			// them.
 			e.killParked()
-			return firstErr
+			return err
+		}
+		if d.active > 0 {
+			err := e.deadlockError(d.active)
+			e.killParked()
+			return err
 		}
 	}
-	return firstErr
-}
-
-// handoff performs a yield dispatch entirely on the yielding processor's
-// goroutine: it enqueues p to resume at t (exactly as the engine does on a
-// yield report), pops the minimum runnable entry, and passes the baton to that
-// processor directly, parking p until its own entry is popped later. This is
-// bit-exact with routing through the engine — the enqueue and dispatch steps
-// are the same code the engine loop runs, in the same order — but costs one
-// goroutine switch instead of two. Returns false if no successor exists (the
-// caller must fall back to the engine), which cannot happen when canElide has
-// just returned false but keeps this function independently safe.
-func (e *Engine) handoff(p *Proc, t Time) bool {
-	e.enqueue(p, t)
-	for {
-		ent, ok := e.runq.pop()
-		if !ok {
-			return false
-		}
-		q := e.procs[ent.procID]
-		if q.state != stateQueued || ent.seq != q.queueSeq {
-			continue // stale queue entry superseded by a later Wake
-		}
-		if ent.at > q.now {
-			q.now = ent.at
-		}
-		q.state = stateRunning
-		if q == p {
-			return true // own entry came straight back: keep running
-		}
-		e.handoffs++
-		q.resume <- struct{}{}
-		<-p.resume
-		return true
-	}
-}
-
-// dispatchBlocked marks p blocked and passes the baton to the next runnable
-// processor directly, parking p until a WakeAt re-queues it. Returns false —
-// leaving p's state untouched — when no runnable processor exists; the caller
-// must then report through the engine so deadlock detection runs.
-func (e *Engine) dispatchBlocked(p *Proc) bool {
-	for {
-		ent, ok := e.runq.peek()
-		if !ok {
-			return false
-		}
-		q := e.procs[ent.procID]
-		if q.state != stateQueued || ent.seq != q.queueSeq {
-			e.runq.pop() // stale entry; the dispatch loop would skip it too
-			continue
-		}
-		e.runq.pop()
-		p.state = stateBlocked
-		if ent.at > q.now {
-			q.now = ent.at
-		}
-		q.state = stateRunning
-		e.handoffs++
-		q.resume <- struct{}{}
-		<-p.resume
-		return true
-	}
+	return nil
 }
 
 // killParked unwinds every processor goroutine still parked on its resume
 // channel. Each parked goroutine is woken with its killed flag set; it exits
 // via runtime.Goexit without reporting back (nobody is listening). Only
-// called from Run's failure paths, where no processor holds the baton, so
-// every non-done processor with a body is guaranteed to be blocked on
-// <-resume and the unbuffered sends cannot hang.
+// called from Run's failure paths, where no processor holds the baton in any
+// domain, so every non-done processor with a body is guaranteed to be blocked
+// on <-resume and the unbuffered sends cannot hang.
 func (e *Engine) killParked() {
 	for _, p := range e.procs {
 		if p.body == nil || p.state == stateDone {
@@ -399,11 +420,4 @@ func (e *Engine) MaxTime() Time {
 		}
 	}
 	return max
-}
-
-// nextMsgSeq hands out globally unique message sequence numbers, used to
-// break ties between messages that arrive at the same virtual instant.
-func (e *Engine) nextMsgSeq() uint64 {
-	e.msgSeq++
-	return e.msgSeq
 }

@@ -996,6 +996,16 @@ func (t *Protocol) servePage(p *core.Proc, req msg.Request) {
 // Finalize implements core.Protocol.
 func (t *Protocol) Finalize(p *core.Proc) {}
 
+// DomainSafe implements core.DomainSafety. TreadMarks' host-level bookkeeping
+// is cluster-global: interval records, write notices, and cached diffs live
+// in shared per-page structures that the requesting processor reads and
+// mutates directly during its own acquire (rather than through timestamped
+// simulator messages), the lock-manager queues are mutated from requesters'
+// goroutines, and garbage collection walks every processor's interval lists
+// in place. The node-parallel engine therefore cannot run this protocol;
+// core.Run falls back to the sequential engine.
+func (t *Protocol) DomainSafe() bool { return false }
+
 // Counters implements core.Protocol.
 func (t *Protocol) Counters() map[string]int64 {
 	return map[string]int64{
