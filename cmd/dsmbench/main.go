@@ -36,22 +36,22 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every table, figure, and ablation")
-		costs    = flag.Bool("costs", false, "print basic operation costs (§4.1)")
-		table1   = flag.Bool("table1", false, "Table 1: basic operation costs per variant")
-		table2   = flag.Bool("table2", false, "Table 2: data sets and sequential times")
-		table3   = flag.Bool("table3", false, "Table 3: detailed statistics at 32 procs")
-		fig5     = flag.Bool("fig5", false, "Figure 5: speedups")
-		fig6     = flag.Bool("fig6", false, "Figure 6: execution-time breakdown")
-		abl      = flag.Bool("ablations", false, "design-choice ablations")
-		size     = flag.String("size", "default", "dataset size: small or default")
-		appsF    = flag.String("apps", "", "comma-separated application subset")
-		procsF   = flag.String("procs", "", "comma-separated processor counts for fig5")
-		jobs     = flag.Int("jobs", runtime.NumCPU(), "concurrent simulations (host workers)")
-		par      = flag.Bool("par", false, "request the node-parallel simulation engine per run (falls back to sequential unless the protocol is domain-safe; results are identical either way)")
-		cacheDir = flag.String("cache-dir", "", "persistent result cache directory: successful runs are stored there and reused by later invocations")
-		jsonF    = flag.Bool("json", false, "write the full result set as JSON (see -json-out)")
-		jsonOut  = flag.String("json-out", "", "path for -json output (default results/dsmbench_<size>.json)")
+		all        = flag.Bool("all", false, "run every table, figure, and ablation")
+		costs      = flag.Bool("costs", false, "print basic operation costs (§4.1)")
+		table1     = flag.Bool("table1", false, "Table 1: basic operation costs per variant")
+		table2     = flag.Bool("table2", false, "Table 2: data sets and sequential times")
+		table3     = flag.Bool("table3", false, "Table 3: detailed statistics at 32 procs")
+		fig5       = flag.Bool("fig5", false, "Figure 5: speedups")
+		fig6       = flag.Bool("fig6", false, "Figure 6: execution-time breakdown")
+		abl        = flag.Bool("ablations", false, "design-choice ablations")
+		size       = flag.String("size", "default", "dataset size: small or default")
+		appsF      = flag.String("apps", "", "comma-separated application subset")
+		procsF     = flag.String("procs", "", "comma-separated processor counts for fig5")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "concurrent simulations (host workers)")
+		par        = flag.Bool("par", false, "request the node-parallel simulation engine per run (falls back to sequential unless the protocol is domain-safe; results are identical either way)")
+		cacheDir   = flag.String("cache-dir", "", "persistent result cache directory: successful runs are stored there and reused by later invocations")
+		jsonF      = flag.Bool("json", false, "write the full result set as JSON (see -json-out)")
+		jsonOut    = flag.String("json-out", "", "path for -json output (default results/dsmbench_<size>.json)")
 		progress   = flag.Bool("progress", true, "print a progress line to stderr while executing")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit (pprof)")

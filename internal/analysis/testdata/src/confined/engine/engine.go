@@ -1,0 +1,47 @@
+// Package engine exercises the domainconfined analyzer: fields annotated
+// dsmvet:domain-confined may only be touched by functions annotated
+// dsmvet:dispatch.
+package engine
+
+type domain struct {
+	id   int
+	runq []int // dsmvet:domain-confined
+
+	// polling is set while a dispatcher evaluates a poll inline.
+	// dsmvet:domain-confined
+	polling bool
+}
+
+// dsmvet:dispatch — holds the baton for the whole call.
+func (d *domain) dispatch() int {
+	if d.polling {
+		return -1
+	}
+	v := d.runq[0]
+	d.runq = d.runq[1:]
+	return v
+}
+
+func (d *domain) peek() int {
+	return d.runq[0] // want `domain-confined field "runq" accessed from peek`
+}
+
+// dsmvet:dispatch — constructor; the domain is not yet shared.
+func newDomain() *domain {
+	return &domain{runq: []int{}}
+}
+
+func reset(d *domain) {
+	d.polling = false // want `domain-confined field "polling" accessed from reset`
+}
+
+// unannotated identifier accesses (not just selectors) are caught too: the
+// composite-literal key below names the confined field.
+func clone(d *domain) *domain {
+	return &domain{id: d.id, runq: nil} // want `domain-confined field "runq" accessed from clone`
+}
+
+var _ = newDomain
+var _ = (*domain).peek
+var _ = reset
+var _ = clone

@@ -1,0 +1,100 @@
+// Package mo exercises the maporder analyzer: map iterations that leak the
+// host's randomized iteration order into order-sensitive sinks, next to the
+// deterministic idioms that must stay clean.
+package mo
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Result struct {
+	Key string
+	Val int
+}
+
+type tally struct {
+	count int
+	sum   float64
+	last  int
+}
+
+// LeakResults reproduces the bug class the analyzer exists for: a results
+// slice filled in map order serializes differently on every run.
+func LeakResults(m map[string]int) []Result {
+	var results []Result
+	for k, v := range m {
+		results = append(results, Result{k, v}) // want `append to "results" inside map iteration`
+	}
+	return results
+}
+
+// SortedResults is the collect-then-sort idiom: the later sort makes the
+// collection order immaterial.
+func SortedResults(m map[string]int) []Result {
+	var results []Result
+	for k, v := range m {
+		results = append(results, Result{k, v})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Key < results[j].Key })
+	return results
+}
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SendAll(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration`
+	}
+}
+
+func FieldWrites(m map[string]int, t *tally) {
+	for _, v := range m {
+		t.count += 1        // commutative integer accumulation: clean
+		t.sum += float64(v) // want `write to field sum of "t" inside map iteration`
+		t.last = v          // want `write to field last of "t" inside map iteration`
+	}
+}
+
+// KeyedCopy writes through the range key: each entry lands in its own slot,
+// so iteration order is immaterial.
+func KeyedCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Buckets appends into a per-key bucket: order-independent across keys.
+func Buckets(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		for _, v := range vs {
+			out[k] = append(out[k], v)
+		}
+	}
+	return out
+}
+
+// LocalScratch collects into a slice that dies inside the iteration.
+func LocalScratch(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		tmp := []int{}
+		tmp = append(tmp, v)
+		total += tmp[0]
+	}
+	return total
+}

@@ -1,0 +1,16 @@
+// Package tools is an unmeasured fixture (leaf "tools"): the same
+// constructs that are flagged in measured packages carry no diagnostics
+// here.
+package tools
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func WallClock() int64 { return time.Now().UnixNano() }
+
+func Global() int { return rand.Intn(10) }
+
+func Env() string { return os.Getenv("HOME") }

@@ -50,32 +50,40 @@ type crossEvent struct {
 // the race detector can verify the discipline. The single exception is `in`,
 // the staging buffer for events arriving from other domains, which has its
 // own mutex and is drained only by the coordinator between windows.
+//
+// The confinement contract is machine-checked: every field below marked
+// dsmvet:domain-confined may only be touched by functions annotated
+// dsmvet:dispatch (see internal/analysis and DESIGN.md "Machine-checked
+// invariants"), which are exactly the paths that hold the baton or run while
+// the domain is provably quiescent.
 type domain struct {
 	eng *Engine
 	id  int
 
 	procs []*Proc
-	runq  runQueue
+	runq  runQueue // dsmvet:domain-confined
 
 	reports   chan report
-	pushCount uint64 // run-queue push counter for FIFO tie-breaking
-	msgSeq    uint64 // per-domain message sequence counter
+	pushCount uint64 // dsmvet:domain-confined — run-queue push counter for FIFO tie-breaking
+	msgSeq    uint64 // dsmvet:domain-confined — per-domain message sequence counter
 
 	// windowH is the exclusive horizon of the current window: the domain may
 	// only execute events with virtual time strictly below it. Sequential
 	// domains keep it at maxTime.
+	// dsmvet:domain-confined
 	windowH Time
 
-	active int // processors with bodies not yet done
+	active int // dsmvet:domain-confined — processors with bodies not yet done
 
 	// polling is set while a dispatcher evaluates a parked processor's
 	// PollWait closure inline; yields and blocks panic during it, enforcing
 	// the PollWait contract.
+	// dsmvet:domain-confined
 	polling bool
 
-	elided   uint64
-	handoffs uint64
-	polls    uint64 // PollWait closures evaluated inline by a dispatcher
+	elided   uint64 // dsmvet:domain-confined
+	handoffs uint64 // dsmvet:domain-confined
+	polls    uint64 // dsmvet:domain-confined — PollWait closures evaluated inline by a dispatcher
 
 	// in stages events sent to this domain by baton holders of other
 	// domains during a window. Senders append under mu; the coordinator
@@ -91,6 +99,8 @@ type domain struct {
 	resultCh chan error
 }
 
+// dsmvet:dispatch — constructor; the domain is not yet visible to any
+// other goroutine.
 func newDomain(e *Engine, id int) *domain {
 	return &domain{
 		eng:     e,
@@ -100,6 +110,8 @@ func newDomain(e *Engine, id int) *domain {
 	}
 }
 
+// dsmvet:dispatch — called only by the domain's current baton holder.
+//
 // nextMsgSeq hands out message sequence numbers that are unique across the
 // whole engine yet assigned without cross-domain coordination: the sequence
 // space is striped by domain id. With a single domain the values are exactly
@@ -110,6 +122,9 @@ func (d *domain) nextMsgSeq() uint64 {
 	return s
 }
 
+// dsmvet:dispatch — called by the baton holder (yields, wakes) or by the
+// coordinator between windows (cross-domain drain), when no window runs.
+//
 // enqueue makes target runnable at virtual time t in this domain's queue.
 func (d *domain) enqueue(target *Proc, t Time) {
 	target.state = stateQueued
@@ -119,6 +134,8 @@ func (d *domain) enqueue(target *Proc, t Time) {
 	d.runq.push(entry{at: t, order: d.pushCount, procID: target.ID, seq: target.queueSeq})
 }
 
+// dsmvet:dispatch — called by the running (baton-holding) processor.
+//
 // canElide reports whether a yield by the running processor until virtual
 // time t may skip the report/resume channel round-trip entirely. It may:
 // exactly one goroutine runs at a time within the domain, so the run queue is
@@ -150,6 +167,8 @@ func (d *domain) canElide(t Time) bool {
 	}
 }
 
+// dsmvet:dispatch — runs on the dispatching goroutine, which holds the baton.
+//
 // dispatchPoll evaluates a parked processor's PollWait closure inline on the
 // dispatching goroutine. On (false, next) the processor is re-queued and the
 // dispatcher keeps going — no goroutine switch happened. On done the poll is
@@ -202,6 +221,9 @@ func (d *domain) dispatchPoll(q *Proc, at Time) (resume bool, err error) {
 	}
 }
 
+// dsmvet:dispatch — runs on the yielding processor's goroutine, which holds
+// the baton until the resume send below transfers it.
+//
 // handoff performs a yield dispatch entirely on the yielding processor's
 // goroutine: it enqueues p to resume at t (exactly as the worker does on a
 // yield report), pops the minimum runnable entry, and passes the baton to that
@@ -252,6 +274,9 @@ func (d *domain) handoff(p *Proc, t Time) bool {
 	}
 }
 
+// dsmvet:dispatch — runs on the blocking processor's goroutine, which holds
+// the baton until the resume send below transfers it.
+//
 // dispatchBlocked marks p blocked and passes the baton to the next runnable
 // processor directly, parking p until a WakeAt re-queues it. p must be marked
 // blocked before anything else is dispatched: an inline poll evaluated from
@@ -300,6 +325,9 @@ func (d *domain) dispatchBlocked(p *Proc) bool {
 	}
 }
 
+// dsmvet:dispatch — the worker's dispatch loop; it owns the baton whenever
+// no processor goroutine does.
+//
 // window runs the domain's dispatch loop until the next runnable event lies
 // at or past horizon (exclusive), the queue drains, or a processor panics.
 // With horizon == maxTime this is exactly the sequential engine loop.
@@ -374,6 +402,9 @@ func (d *domain) stage(ev crossEvent) {
 	d.in.mu.Unlock()
 }
 
+// dsmvet:dispatch — called only by the coordinator between windows, when the
+// domain is quiescent.
+//
 // nextEventTime returns the virtual time of the domain's earliest live queue
 // entry, or maxTime if none, discarding stale entries on the way. Called only
 // by the coordinator between windows.
@@ -392,6 +423,9 @@ func (d *domain) nextEventTime() Time {
 	}
 }
 
+// dsmvet:dispatch — the coordinator; it reads domain state only between
+// windows, when every worker is parked on windowCh.
+//
 // runParallel executes the simulation with one worker per domain under the
 // conservative window protocol:
 //

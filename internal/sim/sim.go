@@ -52,11 +52,17 @@ const NoFastPathEnv = "SIM_NO_FASTPATH"
 // FastPathEnabled reports whether the fast paths are enabled for engines and
 // runtimes created from now on (the environment is consulted at creation
 // time, not per operation).
+//
+// dsmvet:env-switch — declared SIM_* switch site; the only sanctioned kind
+// of environment read in measured packages.
 func FastPathEnabled() bool { return os.Getenv(NoFastPathEnv) == "" }
 
 // ParallelRequested reports whether SIM_PARALLEL asks engines created from
 // now on to default to node-parallel execution. A positive lookahead must
 // still be declared per engine before parallelism engages.
+//
+// dsmvet:env-switch — declared SIM_* switch site; the only sanctioned kind
+// of environment read in measured packages.
 func ParallelRequested() bool { return os.Getenv(ParallelEnv) != "" }
 
 // Time is virtual time in nanoseconds.
@@ -259,6 +265,9 @@ func (e *Engine) Domains() int {
 // ParallelActive reports whether Run committed to more than one domain.
 func (e *Engine) ParallelActive() bool { return e.parallelActive }
 
+// dsmvet:dispatch — observational read, documented as valid only after Run
+// (or between runs), when no domain is executing.
+//
 // ElidedYields returns the number of yields that were satisfied without a
 // scheduler round-trip. Purely observational (tests and benchmarks).
 func (e *Engine) ElidedYields() uint64 {
@@ -269,6 +278,8 @@ func (e *Engine) ElidedYields() uint64 {
 	return n
 }
 
+// dsmvet:dispatch — observational read, documented as valid only after Run.
+//
 // DirectHandoffs returns the number of baton passes that went directly from
 // one processor goroutine to the next without waking the dispatcher.
 // Purely observational (tests and benchmarks).
@@ -280,6 +291,8 @@ func (e *Engine) DirectHandoffs() uint64 {
 	return n
 }
 
+// dsmvet:dispatch — observational read, documented as valid only after Run.
+//
 // InlinePolls returns the number of PollWait closures that dispatchers
 // evaluated inline, without switching to the polling processor's goroutine.
 // Purely observational (tests and benchmarks).
@@ -307,6 +320,9 @@ func (e *Engine) CrossEvents() uint64 { return e.crossEvents }
 // stripe instead of global send order.
 func (e *Engine) CrossTies() uint64 { return e.crossTies }
 
+// dsmvet:dispatch — runs once at Run, before any worker or processor
+// goroutine starts.
+//
 // partition commits the engine to its final domain layout. Sequential
 // engines keep the single domain built by NewEngine; parallel engines get
 // one domain per node.
@@ -330,6 +346,10 @@ func (e *Engine) partition() {
 	}
 }
 
+// dsmvet:dispatch — the top-level driver: it touches domain state before
+// goroutines start and, sequentially, between window calls when it owns the
+// single domain's baton.
+//
 // Run executes the simulation until every processor with a body has finished,
 // or until no progress is possible (deadlock). It returns an error describing
 // a deadlock or a panic inside a processor body. On either failure the
