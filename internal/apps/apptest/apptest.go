@@ -4,10 +4,12 @@
 package apptest
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/variants"
 )
 
@@ -41,26 +43,65 @@ func CrossCheck(t *testing.T, mk func() *core.Program, nodes, ppn int, relTol fl
 		t.Fatal("program reported no checks")
 	}
 	for name, res := range results {
-		for key, want := range base {
-			got, ok := res.Checks[key]
-			if !ok {
-				t.Errorf("%s: missing check %q", name, key)
-				continue
-			}
-			if relTol == 0 {
-				if got != want {
-					t.Errorf("%s: check %q = %v, want %v (exact)", name, key, got, want)
-				}
-				continue
-			}
-			denom := math.Abs(want)
-			if denom < 1 {
-				denom = 1
-			}
-			if math.Abs(got-want)/denom > relTol {
-				t.Errorf("%s: check %q = %v, want %v (tol %v)", name, key, got, want, relTol)
-			}
-		}
+		checksAgree(t, name, res.Checks, base, relTol)
 	}
 	return results
+}
+
+// checksAgree requires every check in want to appear in got within relTol
+// (0 = exact).
+func checksAgree(t *testing.T, label string, got, want map[string]float64, relTol float64) {
+	t.Helper()
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing check %q", label, key)
+			continue
+		}
+		if relTol == 0 {
+			if g != w {
+				t.Errorf("%s: check %q = %v, want %v (exact)", label, key, g, w)
+			}
+			continue
+		}
+		denom := math.Abs(w)
+		if denom < 1 {
+			denom = 1
+		}
+		if math.Abs(g-w)/denom > relTol {
+			t.Errorf("%s: check %q = %v, want %v (tol %v)", label, key, g, w, relTol)
+		}
+	}
+}
+
+// PerturbCheck runs the program under the named variant on nodes x ppn
+// processors once with the canonical schedule and once per seed with a
+// perturbed schedule, and requires every reported check to agree within
+// relTol (0 = exact). The benchmark applications are data-race-free, so a
+// legal schedule perturbation may move events in virtual time but must not
+// change any computed answer — any drift beyond the app's declared rounding
+// tolerance is a protocol bug flushed out by the altered timing.
+func PerturbCheck(t *testing.T, mk func() *core.Program, variant string, nodes, ppn int, relTol float64, seeds ...uint64) {
+	t.Helper()
+	base := RunVariant(t, mk, variant, nodes, ppn)
+	if len(base.Checks) == 0 {
+		t.Fatal("program reported no checks")
+	}
+	for _, seed := range seeds {
+		cfg, err := variants.Config(variant, nodes, ppn, variants.Options{
+			Schedule: sim.Schedule{Seed: seed, CostJitter: 0.5, FlipTies: true, Stagger: sim.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(cfg, mk())
+		if err != nil {
+			t.Fatalf("%s schedule seed %d: %v", variant, seed, err)
+		}
+		checksAgree(t, fmt.Sprintf("%s/seed%d", variant, seed), res.Checks, base.Checks, relTol)
+		if len(res.Checks) != len(base.Checks) {
+			t.Errorf("%s/seed%d: reported %d checks, canonical run reported %d",
+				variant, seed, len(res.Checks), len(base.Checks))
+		}
+	}
 }

@@ -91,6 +91,57 @@ func TestFuzzDeterminism(t *testing.T) {
 	}
 }
 
+// TestCorpusOracles runs every corpus configuration under both polling
+// variants and the sequential baseline and requires the complete reported
+// check map — including the publish-flag, published-slot, and table-sum
+// checks from the two newer idioms — to match the analytic oracle exactly.
+func TestCorpusOracles(t *testing.T) {
+	for _, c := range Corpus() {
+		for _, variant := range []string{"csm_poll", "tmk_mc_poll", variants.Sequential} {
+			t.Run(fmt.Sprintf("seed%d/%s", c.Seed, variant), func(t *testing.T) {
+				nodes, ppn := 2, 2
+				if variant == variants.Sequential {
+					nodes, ppn = 1, 1
+				}
+				cfg, err := variants.Config(variant, nodes, ppn, variants.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Run(cfg, New(c))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := AllExpectedChecks(c, nodes*ppn)
+				if len(res.Checks) != len(want) {
+					t.Fatalf("reported %d checks, oracle has %d", len(res.Checks), len(want))
+				}
+				for _, name := range []string{"arraysum", "countersum", "token", "pubflag", "pubslot", "tablesum"} {
+					if got := res.Checks[name]; got != want[name] {
+						t.Errorf("%s = %v, want %v", name, got, want[name])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCounterSumOracle cross-checks the replayed-draw counter oracle against
+// an actual run (the older in-run test only asserted non-zero).
+func TestCounterSumOracle(t *testing.T) {
+	c := Default(42)
+	cfg, err := variants.Config("csm_poll", 2, 2, variants.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg, New(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Checks["countersum"], float64(ExpectedCounterSum(c, 4)); got != want {
+		t.Errorf("countersum = %v, want %v", got, want)
+	}
+}
+
 func TestBadConfigPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,30 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/apps/apptest"
+	"repro/internal/core"
+)
+
+// TestEveryAppPerturbedSchedules runs each registered application's smallest
+// configuration under three perturbed schedules and requires the reported
+// checks to match the canonical (unperturbed) run within the app's declared
+// tolerance: the applications are data-race-free, so by the release-
+// consistency guarantee a legal schedule perturbation may not change results.
+// Apps alternate between the two polling protocol variants so both DSM
+// implementations see every idiom without doubling the runtime.
+func TestEveryAppPerturbedSchedules(t *testing.T) {
+	protoByIdx := []string{"csm_poll", "tmk_mc_poll"}
+	for i, name := range Names() {
+		e, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		variant := protoByIdx[i%len(protoByIdx)]
+		t.Run(name+"/"+variant, func(t *testing.T) {
+			mk := func() *core.Program { return e.New(SizeSmall) }
+			apptest.PerturbCheck(t, mk, variant, 2, 1, e.CheckTolerance, 11, 22, 33)
+		})
+	}
+}

@@ -419,6 +419,17 @@ func (c *Protocol) Finalize(p *core.Proc) {}
 // core.Run falls back to the sequential engine.
 func (c *Protocol) DomainSafe() bool { return false }
 
+// MaxCostJitter implements core.SchedulePerturbable: any cost inflation up
+// to 100% per operation is legal. Cashmere takes no timing-dependent
+// decisions — every wait is condition-based (directory spin-waits, lock and
+// barrier words probed via SpinWait until they flip; message replies block
+// until they arrive) and the only time bound anywhere is SpinWait's 120 s
+// livelock backstop, six orders of magnitude above any jittered operation
+// cost. Stretching an operation therefore moves *when* events occur, never
+// *which* events occur, so a jittered run is one of the protocol's legal
+// executions.
+func (c *Protocol) MaxCostJitter() float64 { return 1.0 }
+
 // Counters implements core.Protocol.
 func (c *Protocol) Counters() map[string]int64 {
 	return map[string]int64{

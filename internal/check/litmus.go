@@ -1,0 +1,346 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Litmus is one litmus test: a tiny program whose interesting behavior is the
+// final register values of its reader roles, reported as checks "r0".."rN".
+// Registers hold -1 when the test's logic never read the location.
+type Litmus struct {
+	// Name identifies the test, e.g. "MP+sync" or "SB".
+	Name string
+	// Doc is a one-line description for reports.
+	Doc string
+	// Roles is the number of participating processors; extra processors on
+	// larger shapes finish immediately.
+	Roles int
+	// Registers are the reported check names, in order.
+	Registers []string
+	// Sync reports whether the accesses are protected by acquire/release
+	// synchronization (locks). Unsynchronized variants are deliberately racy:
+	// release consistency permits stale values there, and the sweep asserts
+	// only that no out-of-thin-air value appears.
+	Sync bool
+	// New builds the program. perm rotates the role-to-rank assignment
+	// (rank q plays role (q+perm) mod Roles): protocol state has structural
+	// rank asymmetries — lock managers and page homes live on low-numbered
+	// nodes — so sweeping the rotation is what makes mirrored outcomes
+	// (e.g. SB's r0=1 r1=0 vs r0=0 r1=1) reachable under both protocols.
+	New func(perm int) *core.Program
+	// Forbidden reports whether a register assignment violates the memory
+	// model (release consistency for DRF programs; no-thin-air always).
+	Forbidden func(r []int64) bool
+	// MustObserve lists register assignments that a healthy sweep must each
+	// observe at least once per protocol — the "permitted" side of the model:
+	// a protocol that serializes everything would trivially avoid forbidden
+	// outcomes, so the sweep also proves real schedule diversity.
+	MustObserve [][]int64
+}
+
+// role maps a processor rank to its litmus role under a rotation, or -1 for
+// processors beyond the participating roles (idle on larger shapes).
+func role(rank, roles, perm int) int {
+	if rank >= roles {
+		return -1
+	}
+	return (rank + perm) % roles
+}
+
+// Format renders a register assignment, e.g. "r0=1 r1=0".
+func (l Litmus) Format(r []int64) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmt.Sprintf("%s=%d", l.Registers[i], v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// outcome extracts the register assignment from a run result.
+func (l Litmus) outcome(checks map[string]float64) ([]int64, error) {
+	r := make([]int64, len(l.Registers))
+	for i, name := range l.Registers {
+		v, ok := checks[name]
+		if !ok {
+			return nil, fmt.Errorf("%s: register %s never reported", l.Name, name)
+		}
+		r[i] = int64(v)
+	}
+	return r, nil
+}
+
+// thinAir reports whether any register holds a value no store ever wrote:
+// every litmus location starts 0, is only ever stored 1, and unread registers
+// hold -1.
+func thinAir(r []int64) bool {
+	for _, v := range r {
+		if v != -1 && v != 0 && v != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite returns the litmus tests: MP, SB, LB, and IRIW, each in a
+// synchronized (DRF, lock-based acquire/release) and an unsynchronized
+// (deliberately racy) variant.
+func Suite() []Litmus {
+	return []Litmus{
+		mp(true), mp(false),
+		sb(true), sb(false),
+		lb(true), lb(false),
+		iriw(true), iriw(false),
+	}
+}
+
+func name(base string, sync bool) string {
+	if sync {
+		return base + "+sync"
+	}
+	return base
+}
+
+// mp is message passing: P0 writes data x then raises flag f; P1 reads the
+// flag and, if raised, the data. Synchronized, observing the flag must imply
+// observing the data (the paper's canonical use of release consistency).
+func mp(sync bool) Litmus {
+	l := Litmus{
+		Name:      name("MP", sync),
+		Doc:       "message passing: x=1; flag=1 || r0=flag; r1=x",
+		Roles:     2,
+		Registers: []string{"r0", "r1"},
+		Sync:      sync,
+		Forbidden: func(r []int64) bool {
+			if thinAir(r) {
+				return true
+			}
+			return sync && r[0] == 1 && r[1] != 1
+		},
+	}
+	if sync {
+		l.MustObserve = [][]int64{{0, -1}, {1, 1}}
+	}
+	l.New = func(perm int) *core.Program {
+		lay := core.NewLayout()
+		x := lay.I64Pages(1)
+		f := lay.I64Pages(1)
+		return &core.Program{
+			Name:        l.Name,
+			SharedBytes: lay.Size(),
+			Locks:       1,
+			Body: func(p *core.Proc) {
+				switch role(p.Rank(), 2, perm) {
+				case 0:
+					x.Set(p, 0, 1)
+					if sync {
+						p.Lock(0)
+					}
+					f.Set(p, 0, 1)
+					if sync {
+						p.Unlock(0)
+					}
+				case 1:
+					if sync {
+						p.Lock(0)
+					}
+					r0 := f.At(p, 0)
+					if sync {
+						p.Unlock(0)
+					}
+					r1 := int64(-1)
+					if !sync || r0 == 1 {
+						// Synchronized readers only touch x after observing
+						// the flag (keeping the program DRF); the racy
+						// variant reads unconditionally.
+						r1 = x.At(p, 0)
+					}
+					p.ReportCheck("r0", float64(r0))
+					p.ReportCheck("r1", float64(r1))
+				}
+				p.Finish()
+			},
+		}
+	}
+	return l
+}
+
+// sb is store buffering: each processor stores its own location then loads
+// the other's. Fully synchronized, both loads reading 0 is impossible.
+func sb(sync bool) Litmus {
+	l := Litmus{
+		Name:      name("SB", sync),
+		Doc:       "store buffering: x=1; r0=y || y=1; r1=x",
+		Roles:     2,
+		Registers: []string{"r0", "r1"},
+		Sync:      sync,
+		Forbidden: func(r []int64) bool {
+			if thinAir(r) {
+				return true
+			}
+			return sync && r[0] == 0 && r[1] == 0
+		},
+	}
+	if sync {
+		l.MustObserve = [][]int64{{0, 1}, {1, 0}}
+	}
+	l.New = func(perm int) *core.Program {
+		lay := core.NewLayout()
+		x := lay.I64Pages(1)
+		y := lay.I64Pages(1)
+		reg := []string{"r0", "r1"}
+		return &core.Program{
+			Name:        l.Name,
+			SharedBytes: lay.Size(),
+			Locks:       1,
+			Body: func(p *core.Proc) {
+				if me := role(p.Rank(), 2, perm); me >= 0 {
+					mine, other := x, y
+					if me == 1 {
+						mine, other = y, x
+					}
+					if sync {
+						p.Lock(0)
+					}
+					mine.Set(p, 0, 1)
+					if sync {
+						p.Unlock(0)
+						p.Lock(0)
+					}
+					r := other.At(p, 0)
+					if sync {
+						p.Unlock(0)
+					}
+					p.ReportCheck(reg[me], float64(r))
+				}
+				p.Finish()
+			},
+		}
+	}
+	return l
+}
+
+// lb is load buffering: each processor loads the other's location then
+// stores its own. Both loads reading 1 would require effects preceding
+// causes; the operational simulator (no speculation) forbids it with or
+// without synchronization.
+func lb(sync bool) Litmus {
+	l := Litmus{
+		Name:      name("LB", sync),
+		Doc:       "load buffering: r0=y; x=1 || r1=x; y=1",
+		Roles:     2,
+		Registers: []string{"r0", "r1"},
+		Sync:      sync,
+		Forbidden: func(r []int64) bool {
+			if thinAir(r) {
+				return true
+			}
+			// (1,1) is out-of-thin-air here regardless of synchronization:
+			// each load precedes its processor's store in program order.
+			return r[0] == 1 && r[1] == 1
+		},
+	}
+	if sync {
+		l.MustObserve = [][]int64{{0, 0}, {0, 1}, {1, 0}}
+	}
+	l.New = func(perm int) *core.Program {
+		lay := core.NewLayout()
+		x := lay.I64Pages(1)
+		y := lay.I64Pages(1)
+		reg := []string{"r0", "r1"}
+		return &core.Program{
+			Name:        l.Name,
+			SharedBytes: lay.Size(),
+			Locks:       1,
+			Body: func(p *core.Proc) {
+				if me := role(p.Rank(), 2, perm); me >= 0 {
+					mine, other := x, y
+					if me == 1 {
+						mine, other = y, x
+					}
+					if sync {
+						p.Lock(0)
+					}
+					r := other.At(p, 0)
+					if sync {
+						p.Unlock(0)
+						p.Lock(0)
+					}
+					mine.Set(p, 0, 1)
+					if sync {
+						p.Unlock(0)
+					}
+					p.ReportCheck(reg[me], float64(r))
+				}
+				p.Finish()
+			},
+		}
+	}
+	return l
+}
+
+// iriw is independent reads of independent writes: two writers store to
+// separate locations; two readers each load both in opposite orders.
+// Synchronized, the readers must agree on the order of the writes.
+func iriw(sync bool) Litmus {
+	l := Litmus{
+		Name:      name("IRIW", sync),
+		Doc:       "independent reads of independent writes: x=1 || y=1 || r0=x; r1=y || r2=y; r3=x",
+		Roles:     4,
+		Registers: []string{"r0", "r1", "r2", "r3"},
+		Sync:      sync,
+		Forbidden: func(r []int64) bool {
+			if thinAir(r) {
+				return true
+			}
+			// Readers disagreeing on the write order: P2 saw x before y,
+			// P3 saw y before x.
+			return sync && r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0
+		},
+	}
+	if sync {
+		l.MustObserve = [][]int64{{0, 0, 0, 0}, {1, 1, 1, 1}}
+	}
+	l.New = func(perm int) *core.Program {
+		lay := core.NewLayout()
+		x := lay.I64Pages(1)
+		y := lay.I64Pages(1)
+		return &core.Program{
+			Name:        l.Name,
+			SharedBytes: lay.Size(),
+			Locks:       1,
+			Body: func(p *core.Proc) {
+				read := func(a core.I64Array) int64 {
+					if sync {
+						p.Lock(0)
+						defer p.Unlock(0)
+					}
+					return a.At(p, 0)
+				}
+				write := func(a core.I64Array) {
+					if sync {
+						p.Lock(0)
+						defer p.Unlock(0)
+					}
+					a.Set(p, 0, 1)
+				}
+				switch role(p.Rank(), 4, perm) {
+				case 0:
+					write(x)
+				case 1:
+					write(y)
+				case 2:
+					p.ReportCheck("r0", float64(read(x)))
+					p.ReportCheck("r1", float64(read(y)))
+				case 3:
+					p.ReportCheck("r2", float64(read(y)))
+					p.ReportCheck("r3", float64(read(x)))
+				}
+				p.Finish()
+			},
+		}
+	}
+	return l
+}

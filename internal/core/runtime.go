@@ -44,6 +44,12 @@ type Config struct {
 	// Result is identical byte for byte — parallel execution is an engine
 	// implementation detail, never a model change.
 	Parallel bool
+	// Schedule requests a seed-derived perturbation of the simulated event
+	// schedule (schedule-space exploration; internal/check, cmd/dsmcheck).
+	// The zero value runs the canonical order. Run rejects a CostJitter
+	// beyond the protocol's declared tolerance (SchedulePerturbable) — a
+	// protocol that declares no tolerance cannot run perturbed at all.
+	Schedule sim.Schedule
 }
 
 // Validate reports whether the configuration is usable.
@@ -67,6 +73,9 @@ func (c Config) Validate() error {
 	}
 	if c.NewProtocol == nil {
 		return fmt.Errorf("core: NewProtocol not set")
+	}
+	if err := c.Schedule.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -115,6 +124,12 @@ type Result struct {
 	// serialized results stay byte-identical across engine modes.
 	EngineParallel bool `json:"-"`
 	EngineDomains  int  `json:"-"`
+	// Schedule records the perturbation the run executed under (zero value:
+	// canonical order). Observability only, excluded from JSON: measured
+	// result files never embed schedule metadata — a perturbed run's
+	// serialized shape is indistinguishable from a canonical one, and cache
+	// separation is the run key's job (internal/runner), not the payload's.
+	Schedule sim.Schedule `json:"-"`
 }
 
 // Runtime wires one run together. Protocol implementations use its accessors
@@ -317,6 +332,22 @@ func Run(cfg Config, prog *Program) (res *Result, err error) {
 	if safe {
 		eng.SetLookahead(cfg.MC.MinCrossNodeLatency())
 	}
+	if cfg.Schedule.Enabled() {
+		// A perturbed schedule stretches protocol operation costs; that is
+		// only legal inside the range the protocol itself declares tolerable.
+		// The engine then pins the sequential slow path for the run (see
+		// sim.Engine.SetSchedule), overriding the parallel request above.
+		sp, ok := rt.proto.(SchedulePerturbable)
+		if !ok {
+			return nil, fmt.Errorf("core: %s on %s: protocol declares no schedule-perturbation tolerance; cannot run perturbed",
+				prog.Name, cfg.Variant)
+		}
+		if max := sp.MaxCostJitter(); cfg.Schedule.CostJitter > max {
+			return nil, fmt.Errorf("core: %s on %s: schedule cost jitter %v exceeds the protocol's declared tolerance %v",
+				prog.Name, cfg.Variant, cfg.Schedule.CostJitter, max)
+		}
+		eng.SetSchedule(cfg.Schedule)
+	}
 
 	rt.proto.Setup(rt)
 	for _, p := range rt.allProcs {
@@ -387,6 +418,7 @@ func (rt *Runtime) result() *Result {
 
 		EngineParallel: rt.eng.ParallelActive(),
 		EngineDomains:  rt.eng.Domains(),
+		Schedule:       rt.cfg.Schedule,
 	}
 	for _, p := range rt.computeProcs {
 		st := p.Snapshot()

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cashmere"
 	"repro/internal/core"
 	"repro/internal/memchan"
+	"repro/internal/sim"
 	"repro/internal/variants"
 )
 
@@ -78,15 +79,20 @@ type resolvedOpts struct {
 	NoCache bool
 	Csm     cashmere.Config
 	Costs   core.CostModel
+	// Schedule is part of the canonical identity: a schedule-perturbed run
+	// is a different simulation than the canonical-order run of the same
+	// spec, so the two must never share a memo entry or a disk-cache file.
+	Schedule sim.Schedule
 }
 
 func resolve(o variants.Options) resolvedOpts {
 	r := resolvedOpts{
-		MC:      memchan.DefaultParams(),
-		Cache:   cache.Alpha21064A,
-		NoCache: o.NoCache,
-		Csm:     o.Cashmere,
-		Costs:   core.DefaultCosts(),
+		MC:       memchan.DefaultParams(),
+		Cache:    cache.Alpha21064A,
+		NoCache:  o.NoCache,
+		Csm:      o.Cashmere,
+		Costs:    core.DefaultCosts(),
+		Schedule: o.Schedule,
 	}
 	if o.MC != nil {
 		r.MC = *o.MC

@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func init() {
+	// A deliberately tiny program so the cache-separation tests below spend
+	// their time on cache bookkeeping, not simulation.
+	RegisterProgram("test:schedkey", func(apps.Size) *core.Program {
+		return &core.Program{
+			Name:        "schedkey",
+			SharedBytes: vm.PageSize,
+			Locks:       1,
+			Barriers:    1,
+			Body: func(p *core.Proc) {
+				p.Lock(0)
+				p.WriteI64(0, p.ReadI64(0)+1)
+				p.Unlock(0)
+				p.Barrier(0)
+			},
+		}
+	})
+}
+
+func schedSpec(seed uint64) RunSpec {
+	s := RunSpec{App: "test:schedkey", Variant: "tmk_mc_poll", Nodes: 2, PPN: 1, Size: apps.SizeSmall}
+	if seed != 0 {
+		s.Opts.Schedule = sim.Schedule{Seed: seed, CostJitter: 0.5, FlipTies: true, Stagger: sim.Millisecond}
+	}
+	return s
+}
+
+// TestScheduleInKey: the schedule is part of the canonical run identity —
+// a perturbed run must never share a key (and therefore a cache entry) with
+// the canonical run, and every schedule knob must be distinguishing.
+func TestScheduleInKey(t *testing.T) {
+	base := schedSpec(0)
+	pert := schedSpec(7)
+	if base.Key() == pert.Key() {
+		t.Fatal("perturbed spec keyed identically to canonical spec")
+	}
+	if schedSpec(7).Key() != pert.Key() {
+		t.Fatal("identical schedules keyed differently")
+	}
+	if schedSpec(8).Key() == pert.Key() {
+		t.Fatal("different schedule seeds keyed identically")
+	}
+	for name, mutate := range map[string]func(*sim.Schedule){
+		"CostJitter": func(s *sim.Schedule) { s.CostJitter = 0.25 },
+		"FlipTies":   func(s *sim.Schedule) { s.FlipTies = false },
+		"Stagger":    func(s *sim.Schedule) { s.Stagger = 2 * sim.Millisecond },
+	} {
+		changed := schedSpec(7)
+		mutate(&changed.Opts.Schedule)
+		if changed.Key() == pert.Key() {
+			t.Fatalf("changing Schedule.%s did not change the key", name)
+		}
+	}
+}
+
+// TestScheduleMemoSeparation: perturbed and canonical runs of the same spec
+// occupy distinct memo entries — each executes once, then replays for free.
+func TestScheduleMemoSeparation(t *testing.T) {
+	ResetCache()
+	p := NewPlan()
+	p.Add(schedSpec(0), schedSpec(1), schedSpec(2))
+	if p.Len() != 3 {
+		t.Fatalf("plan deduplicated %d of 3 distinct-schedule specs", 3-p.Len())
+	}
+	before := Executions()
+	rs, err := Execute(p, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Executions() - before; got != 3 {
+		t.Fatalf("3 distinct-schedule specs ran %d simulations, want 3", got)
+	}
+	if _, err := Execute(p, Options{Jobs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Executions() - before; got != 3 {
+		t.Fatalf("cached replay ran %d extra simulations", got-3)
+	}
+	for _, s := range p.Specs() {
+		if _, err := rs.Get(s); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+	}
+}
+
+// TestDiskCacheScheduleSeparation: a stored canonical result must not
+// satisfy a perturbed request for the same spec (and vice versa) — the
+// schedule seed is in the disk key too.
+func TestDiskCacheScheduleSeparation(t *testing.T) {
+	dir, err := os.MkdirTemp("", "schedcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	exec := func(spec RunSpec) (executed, diskHit bool) {
+		t.Helper()
+		ResetCache() // force every request through the disk-cache path
+		p := NewPlan()
+		p.Add(spec)
+		e, d := Executions(), DiskHits()
+		if _, err := Execute(p, Options{CacheDir: dir}); err != nil {
+			t.Fatal(err)
+		}
+		return Executions() > e, DiskHits() > d
+	}
+
+	if executed, _ := exec(schedSpec(0)); !executed {
+		t.Fatal("first canonical run not executed")
+	}
+	if executed, diskHit := exec(schedSpec(3)); !executed || diskHit {
+		t.Fatalf("perturbed run after canonical store: executed=%v diskHit=%v, want executed, no disk hit", executed, diskHit)
+	}
+	if executed, diskHit := exec(schedSpec(3)); executed || !diskHit {
+		t.Fatalf("perturbed replay: executed=%v diskHit=%v, want disk hit only", executed, diskHit)
+	}
+	if executed, diskHit := exec(schedSpec(0)); executed || !diskHit {
+		t.Fatalf("canonical replay: executed=%v diskHit=%v, want disk hit only", executed, diskHit)
+	}
+}
+
+// TestScheduleExcludedFromResultJSON: schedule metadata never reaches the
+// serialized measured payload — a perturbed run's Result marshals to the
+// same shape as a canonical one. (The spec *options* in the JSON document
+// legitimately carry the schedule: that is the run's identity, not its
+// measurement.)
+func TestScheduleExcludedFromResultJSON(t *testing.T) {
+	ResetCache()
+	p := NewPlan()
+	spec := schedSpec(5)
+	p.Add(spec)
+	rs, err := Execute(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rs.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Enabled() {
+		t.Fatal("perturbed run did not record its schedule in the in-memory result")
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []string{"Schedule", "FlipTies", "Stagger"} {
+		if bytes.Contains(payload, []byte(probe)) {
+			t.Fatalf("measured result payload leaks schedule metadata %q:\n%s", probe, payload)
+		}
+	}
+}

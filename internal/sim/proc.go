@@ -49,6 +49,11 @@ type Proc struct {
 	// that YieldIfQuantum can bound how far a processor runs ahead between
 	// interaction points.
 	lastYield Time
+
+	// jstate is this processor's splitmix64 cost-jitter stream, seeded at Run
+	// from (schedule seed, proc ID) when a jittering schedule is committed.
+	// Advanced only by the owning goroutine, in program order.
+	jstate uint64
 }
 
 // Engine returns the engine this processor belongs to.
@@ -60,9 +65,20 @@ func (p *Proc) Now() Time { return p.now }
 // Advance adds d nanoseconds of local work to the processor's clock. It never
 // yields; callers that can tolerate a scheduling point should follow up with
 // YieldIfQuantum.
+//
+// Under a cost-jittering schedule (SetSchedule) the charged duration is
+// inflated by a seed-derived amount in [0, d*CostJitter]: never shrunk, never
+// past the declared fraction, so every jittered cost stays within the range
+// the model layer declared legal. Integer arithmetic only; the intermediate
+// product bounds d below ~100 virtual days per call, far past any real
+// charge.
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: proc %d Advance(%d): negative duration", p.ID, d))
+	}
+	if k := p.eng.jitterK; k != 0 && d > 0 {
+		u := int64(jitterNext(&p.jstate) & 1023)
+		d += (d * u / 1024) * k / 1024
 	}
 	p.now += d
 }

@@ -11,20 +11,36 @@ type entry struct {
 	seq    uint64
 }
 
-// less orders entries by (time, push order). FIFO ordering among equal-time
-// entries makes Yield hand the baton to same-clock peers instead of spinning,
-// and is deterministic because pushes happen in a deterministic order.
-func (a entry) less(b entry) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.order < b.order
-}
-
 // runQueue is a binary min-heap of entries. A hand-rolled heap (rather than
 // container/heap) keeps the hot path free of interface conversions.
 type runQueue struct {
 	h []entry
+	// salt, when non-zero, replaces FIFO ordering among equal-time entries
+	// with a seeded hash order (Schedule.FlipTies): each push's unique order
+	// stamp is mixed with the salt, so a re-pushed entry draws a fresh coin —
+	// same-instant ties resolve differently per schedule seed, yet no
+	// processor can be starved by a fixed unlucky hash. Set once before Run
+	// (applySchedule), never touched during dispatch.
+	salt uint64
+}
+
+// less orders entries by (time, push order). FIFO ordering among equal-time
+// entries makes Yield hand the baton to same-clock peers instead of spinning,
+// and is deterministic because pushes happen in a deterministic order. Under
+// a tie-flipping schedule the equal-time order is the salted hash of the push
+// order instead — a different, equally deterministic linearization of events
+// the conservative rule leaves unordered.
+func (q *runQueue) less(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if q.salt != 0 {
+		ha, hb := mix64(q.salt^a.order), mix64(q.salt^b.order)
+		if ha != hb {
+			return ha < hb
+		}
+	}
+	return a.order < b.order
 }
 
 func (q *runQueue) push(e entry) {
@@ -32,7 +48,7 @@ func (q *runQueue) push(e entry) {
 	i := len(q.h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.h[i].less(q.h[parent]) {
+		if !q.less(q.h[i], q.h[parent]) {
 			break
 		}
 		q.h[i], q.h[parent] = q.h[parent], q.h[i]
@@ -60,10 +76,10 @@ func (q *runQueue) pop() (entry, bool) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(q.h) && q.h[l].less(q.h[smallest]) {
+		if l < len(q.h) && q.less(q.h[l], q.h[smallest]) {
 			smallest = l
 		}
-		if r < len(q.h) && q.h[r].less(q.h[smallest]) {
+		if r < len(q.h) && q.less(q.h[r], q.h[smallest]) {
 			smallest = r
 		}
 		if smallest == i {

@@ -163,6 +163,12 @@ type Engine struct {
 	// than one domain.
 	parallelActive bool
 
+	// sched is the committed schedule perturbation (zero value: canonical
+	// order); jitterK is its cost-jitter fraction quantized to 1/1024ths so
+	// the Advance hot path stays in integer arithmetic. See schedule.go.
+	sched   Schedule
+	jitterK int64
+
 	rounds      uint64 // horizon windows executed (parallel mode)
 	crossEvents uint64 // cross-domain events drained (parallel mode)
 	crossTies   uint64 // same-instant cross-domain delivery collisions
@@ -360,6 +366,7 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: engine already ran")
 	}
 	e.started = true
+	e.applySchedule() // may pin sequential mode; must precede partition
 	e.partition()
 
 	for _, p := range e.procs {
@@ -368,7 +375,7 @@ func (e *Engine) Run() error {
 			continue
 		}
 		p.dom.active++
-		p.dom.enqueue(p, 0)
+		p.dom.enqueue(p, e.startTime(p))
 		go p.run()
 	}
 

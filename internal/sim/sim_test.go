@@ -469,7 +469,7 @@ func TestRunQueueProperty(t *testing.T) {
 			if !ok {
 				break
 			}
-			if !first && e.less(prev) {
+			if !first && q.less(e, prev) {
 				return false
 			}
 			prev, first = e, false

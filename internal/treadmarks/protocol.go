@@ -39,6 +39,13 @@ type Config struct {
 	// the common horizon are discarded — TreadMarks' mechanism for bounding
 	// twin/diff/interval memory.
 	GCBarrierInterval int
+
+	// TestDropDiffRuns, when N > 0, deliberately corrupts every Nth diff
+	// served by serveDiff: the reply's copy of that diff loses its last run.
+	// This is the dsmcheck harness's injected diff-loss bug — a fault the
+	// schedule-exploration checker must detect and shrink to a minimal
+	// repro — and exists only for that self-test. Variants never set it.
+	TestDropDiffRuns int
 }
 
 // New returns a core.Config protocol factory for TreadMarks.
@@ -189,6 +196,12 @@ type Protocol struct {
 	diffRequests    int64
 	pageRequests    int64
 	invalidations   int64
+
+	// diffsServed counts diffs copied into serveDiff replies; testRunsLost
+	// counts the runs the injected TestDropDiffRuns bug discarded. Both only
+	// drive the injection and its counter (absent unless the bug is armed).
+	diffsServed  int64
+	testRunsLost int64
 }
 
 // Name implements core.Protocol.
@@ -951,6 +964,15 @@ func (t *Protocol) serveDiff(p *core.Proc, req msg.Request) {
 	var bytes int64
 	for _, d := range stored {
 		if d.Tag > dr.Applied {
+			t.diffsServed++
+			if n := t.cfg.TestDropDiffRuns; n > 0 && t.diffsServed%int64(n) == 0 && len(d.Runs) > 0 {
+				// Injected diff-loss bug (Config.TestDropDiffRuns): serve a
+				// copy of the diff missing its last run. The struct copy
+				// shares the runs' backing array but truncating the length
+				// never mutates stored state.
+				d.Runs = d.Runs[:len(d.Runs)-1]
+				t.testRunsLost++
+			}
 			out = append(out, d)
 			bytes += d.WireBytes()
 		}
@@ -1006,9 +1028,20 @@ func (t *Protocol) Finalize(p *core.Proc) {}
 // core.Run falls back to the sequential engine.
 func (t *Protocol) DomainSafe() bool { return false }
 
+// MaxCostJitter implements core.SchedulePerturbable: any cost inflation up
+// to 100% per operation is legal. TreadMarks' ordering decisions are all
+// logical, not temporal — vector timestamps order intervals, lock batons
+// order critical sections, the barrier manager counts arrivals — and every
+// wait is condition-based (Recv blocks until the reply message exists).
+// The conservative barrier-manager VT guess is the one timing-sensitive
+// heuristic, and it errs only toward re-sending intervals the manager
+// already has, never toward dropping any. Stretching costs therefore yields
+// another legal execution of the same protocol.
+func (t *Protocol) MaxCostJitter() float64 { return 1.0 }
+
 // Counters implements core.Protocol.
 func (t *Protocol) Counters() map[string]int64 {
-	return map[string]int64{
+	m := map[string]int64{
 		"gc_runs":         t.gcRuns,
 		"diffs_dropped":   t.diffsDropped,
 		"records_dropped": t.recordsDropped,
@@ -1018,4 +1051,10 @@ func (t *Protocol) Counters() map[string]int64 {
 		"page_requests":   t.pageRequests,
 		"invalidations":   t.invalidations,
 	}
+	if t.cfg.TestDropDiffRuns > 0 {
+		// Only present when the injected bug is armed, so ordinary runs'
+		// counter maps (and their serialized results) are unchanged.
+		m["test_diff_runs_lost"] = t.testRunsLost
+	}
+	return m
 }

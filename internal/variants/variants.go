@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memchan"
 	"repro/internal/msg"
+	"repro/internal/sim"
 	"repro/internal/treadmarks"
 )
 
@@ -49,8 +50,17 @@ type Options struct {
 	NoCache bool
 	// Cashmere carries protocol-specific ablation knobs.
 	Cashmere cashmere.Config
+	// TreadMarks carries protocol-specific knobs (the zero value is the
+	// paper's configuration). Includes the test-only fault-injection switch
+	// dsmcheck's self-test uses to prove the harness catches protocol bugs.
+	TreadMarks treadmarks.Config
 	// Costs overrides the cost model (zero value: core.DefaultCosts).
 	Costs *core.CostModel
+	// Schedule perturbs the simulated event schedule (schedule-space
+	// exploration; internal/check, cmd/dsmcheck). The zero value runs the
+	// canonical order. Perturbed runs carry the schedule in their canonical
+	// run key, so they never share a cache entry with canonical runs.
+	Schedule sim.Schedule
 }
 
 // Config builds the run configuration for one variant on the given cluster
@@ -62,6 +72,7 @@ func Config(name string, nodes, procsPerNode int, opts Options) (core.Config, er
 		MC:           memchan.DefaultParams(),
 		Costs:        core.DefaultCosts(),
 		Variant:      name,
+		Schedule:     opts.Schedule,
 	}
 	if opts.MC != nil {
 		cfg.MC = *opts.MC
@@ -89,13 +100,13 @@ func Config(name string, nodes, procsPerNode int, opts Options) (core.Config, er
 		cfg.Msg = msg.DefaultParams(msg.ModePoll)
 		cfg.PollingInstrumented = true
 	case "tmk_udp_int":
-		cfg.NewProtocol = treadmarks.New(treadmarks.Config{})
+		cfg.NewProtocol = treadmarks.New(opts.TreadMarks)
 		cfg.Msg = msg.DefaultParams(msg.ModeUDP)
 	case "tmk_mc_int":
-		cfg.NewProtocol = treadmarks.New(treadmarks.Config{})
+		cfg.NewProtocol = treadmarks.New(opts.TreadMarks)
 		cfg.Msg = msg.DefaultParams(msg.ModeInterrupt)
 	case "tmk_mc_poll":
-		cfg.NewProtocol = treadmarks.New(treadmarks.Config{})
+		cfg.NewProtocol = treadmarks.New(opts.TreadMarks)
 		cfg.Msg = msg.DefaultParams(msg.ModePoll)
 		cfg.PollingInstrumented = true
 	case Sequential:
