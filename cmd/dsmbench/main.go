@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/bench"
+	"repro/internal/interconnect"
 	"repro/internal/runner"
 )
 
@@ -44,6 +46,10 @@ func main() {
 		fig5       = flag.Bool("fig5", false, "Figure 5: speedups")
 		fig6       = flag.Bool("fig6", false, "Figure 6: execution-time breakdown")
 		abl        = flag.Bool("ablations", false, "design-choice ablations")
+		netsweep   = flag.Bool("netsweep", false, "interconnect x node-count sweep (8..64 nodes, every interconnect; not part of -all)")
+		nsNodes    = flag.String("netsweep-nodes", "", "comma-separated node-count ladder for -netsweep (default 8,16,32,64)")
+		netF       = flag.String("interconnect", "", "interconnect for the paper tables: memchan (default), rdma, or switched")
+		strict     = flag.Bool("strict", false, "exit nonzero if any planned run errors (infeasible layouts are not errors)")
 		size       = flag.String("size", "default", "dataset size: small or default")
 		appsF      = flag.String("apps", "", "comma-separated application subset")
 		procsF     = flag.String("procs", "", "comma-separated processor counts for fig5")
@@ -89,6 +95,16 @@ func main() {
 	}
 
 	opts := bench.Options{Size: apps.Size(*size)}
+	if *netF != "" {
+		kind, err := interconnect.ParseKind(*netF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		if kind != interconnect.MemoryChannel {
+			opts.VariantOpts.Net = &interconnect.Spec{Kind: kind}
+		}
+	}
 	if *appsF != "" {
 		opts.Apps = strings.Split(*appsF, ",")
 	}
@@ -137,6 +153,27 @@ func main() {
 			any = true
 			plan.Add(s.specs...)
 		}
+	}
+	// The interconnect sweep stays outside -all: the paper's evaluation is
+	// Memory Channel only and the -all output is pinned by golden tests.
+	if *netsweep {
+		any = true
+		if *nsNodes != "" {
+			var ladder []int
+			for _, s := range strings.Split(*nsNodes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					fmt.Fprintln(os.Stderr, "dsmbench: bad -netsweep-nodes:", s)
+					os.Exit(1)
+				}
+				ladder = append(ladder, n)
+			}
+			bench.NetSweepNodes = ladder
+		}
+		plan.Add(bench.NetSweepSpecs(opts)...)
+		sections = append(sections, section{true, nil, func(w io.Writer, rs *runner.ResultSet) error {
+			return bench.NetSweepRender(w, opts, rs)
+		}})
 	}
 	if !any {
 		flag.Usage()
@@ -193,6 +230,23 @@ func main() {
 		rs, err = runner.Execute(plan, ropts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	// -strict: refuse to emit partial output (tables or JSON with error
+	// cells) when any planned run failed. Infeasible layouts are expected
+	// holes, not failures.
+	if *strict && rs != nil {
+		failed := 0
+		for _, s := range plan.Specs() {
+			if _, err := rs.Get(s); err != nil && !errors.Is(err, runner.ErrInfeasible) {
+				failed++
+				fmt.Fprintf(os.Stderr, "dsmbench: run failed: %s: %v\n", s.Key(), err)
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "dsmbench: -strict: %d of %d runs failed\n", failed, plan.Len())
 			os.Exit(1)
 		}
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/interconnect"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/variants"
@@ -39,21 +40,33 @@ func main() {
 		size    = flag.String("size", "default", "dataset size: small or default")
 		seq     = flag.Bool("seq-baseline", true, "also run the sequential baseline and report speedup")
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "concurrent simulations (host workers)")
+		netF    = flag.String("interconnect", "", "interconnect: memchan (default), rdma, or switched")
 	)
 	flag.Parse()
 	vs := strings.Split(*variant, ",")
 	for i := range vs {
 		vs[i] = strings.TrimSpace(vs[i])
 	}
-	if err := run(*app, vs, *procs, *nodes, *ppn, apps.Size(*size), *seq, *jobs); err != nil {
+	var opts variants.Options
+	if *netF != "" {
+		kind, err := interconnect.ParseKind(*netF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
+		}
+		if kind != interconnect.MemoryChannel {
+			opts.Net = &interconnect.Spec{Kind: kind}
+		}
+	}
+	if err := run(*app, vs, *procs, *nodes, *ppn, apps.Size(*size), *seq, *jobs, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
 	}
 }
 
 // specFor builds the run spec for one variant at the requested shape.
-func specFor(app, variant string, procs, nodes, ppn int, size apps.Size) runner.RunSpec {
-	s := runner.RunSpec{App: app, Variant: variant, Size: size}
+func specFor(app, variant string, procs, nodes, ppn int, size apps.Size, opts variants.Options) runner.RunSpec {
+	s := runner.RunSpec{App: app, Variant: variant, Size: size, Opts: opts}
 	if procs > 0 {
 		s.Procs = procs
 	} else {
@@ -62,7 +75,7 @@ func specFor(app, variant string, procs, nodes, ppn int, size apps.Size) runner.
 	return s
 }
 
-func run(app string, vs []string, procs, nodes, ppn int, size apps.Size, seqBaseline bool, jobs int) error {
+func run(app string, vs []string, procs, nodes, ppn int, size apps.Size, seqBaseline bool, jobs int, opts variants.Options) error {
 	entry, err := apps.Get(app)
 	if err != nil {
 		return err
@@ -71,7 +84,7 @@ func run(app string, vs []string, procs, nodes, ppn int, size apps.Size, seqBase
 	plan := runner.NewPlan()
 	specs := make([]runner.RunSpec, len(vs))
 	for i, v := range vs {
-		specs[i] = specFor(app, v, procs, nodes, ppn, size)
+		specs[i] = specFor(app, v, procs, nodes, ppn, size, opts)
 		plan.Add(specs[i])
 	}
 	needSeq := false

@@ -123,17 +123,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // results. internal/apps and its subpackages are matched by the "apps" path
 // element instead.
 var measuredLeaves = map[string]bool{
-	"sim":        true,
-	"core":       true,
-	"cashmere":   true,
-	"treadmarks": true,
-	"memchan":    true,
-	"vm":         true,
+	"sim":          true,
+	"core":         true,
+	"cashmere":     true,
+	"treadmarks":   true,
+	"interconnect": true,
+	"vm":           true,
 }
 
 // MeasuredPackage reports whether the import path names one of the measured
 // packages the nondeterminism analyzer patrols: internal/{sim, core,
-// cashmere, treadmarks, memchan, vm} and everything under internal/apps.
+// cashmere, treadmarks, interconnect, vm} and everything under
+// internal/apps.
 func MeasuredPackage(path string) bool {
 	elems := strings.Split(path, "/")
 	for _, e := range elems {

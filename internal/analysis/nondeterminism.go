@@ -15,7 +15,7 @@ import (
 const EnvSwitchMarker = "dsmvet:env-switch"
 
 // Nondeterminism flags host-level nondeterminism sources inside the
-// measured packages (internal/{sim,core,cashmere,treadmarks,memchan,vm} and
+// measured packages (internal/{sim,core,cashmere,treadmarks,interconnect,vm} and
 // internal/apps/...): wall-clock reads, the globally seeded math/rand
 // top-level functions (only apputil.Rng's seeded rand.New(rand.NewSource)
 // is allowed), crypto/rand, environment reads outside the declared SIM_*

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cashmere"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/runner"
 )
 
@@ -36,7 +36,7 @@ func (o Options) withCashmere(c cashmere.Config) Options {
 // withSecondGenMC returns opts projected onto the second-generation Memory
 // Channel.
 func (o Options) withSecondGenMC() Options {
-	mc2 := memchan.SecondGeneration()
+	mc2 := interconnect.MCSecondGeneration()
 	o.VariantOpts.MC = &mc2
 	return o
 }

@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 )
 
@@ -13,7 +13,7 @@ import (
 // next to the paper's measured values, so calibration drift is visible.
 func Costs(w io.Writer) {
 	c := core.DefaultCosts()
-	mc := memchan.DefaultParams()
+	mc := interconnect.MCFirstGeneration()
 	mp := msg.DefaultParams(msg.ModePoll)
 	header(w, "Basic operation costs (model vs paper §4.1)")
 	rows := []struct {

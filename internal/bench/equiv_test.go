@@ -1,0 +1,82 @@
+package bench
+
+// Interconnect-equivalence tests: the Memory Channel running behind the
+// pluggable Interconnect interface must produce results JSON byte-identical
+// to the pre-interface implementation. Both golden artifacts were generated
+// by dsmbench before the interconnect API existed:
+//
+//	testdata/equiv_small_subset.json  -fig5 -fig6 -size small -apps SOR,Water -procs 1,4,8 -json
+//	testdata/equiv_small_full.sha256  sha256 of -all -size small -json
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/runner"
+)
+
+func TestInterconnectEquivalenceSubset(t *testing.T) {
+	opts := Options{
+		Size:  apps.SizeSmall,
+		Apps:  []string{"SOR", "Water"},
+		Procs: []int{1, 4, 8},
+	}
+	plan := runner.NewPlan()
+	plan.Add(Fig5Specs(opts)...)
+	plan.Add(Fig6Specs(opts)...)
+	rs, err := runner.Execute(plan, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "equiv_small_subset.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("results JSON differs from the pre-interface golden:\n%s",
+			diffHint(buf.Bytes(), want))
+	}
+}
+
+// TestInterconnectEquivalenceFull covers the complete small-size sweep (430
+// specs, ~30 s); the golden is pinned as a hash because the document is
+// over 4 MB. Runs with the other full golden under DSMBENCH_GOLDEN_FULL.
+func TestInterconnectEquivalenceFull(t *testing.T) {
+	if os.Getenv("DSMBENCH_GOLDEN_FULL") == "" {
+		t.Skip("set DSMBENCH_GOLDEN_FULL=1 to run the full equivalence sweep (~30 s)")
+	}
+	opts := Options{Size: apps.SizeSmall}
+	plan := runner.NewPlan()
+	plan.Add(Table1Specs(opts.VariantOpts)...)
+	plan.Add(Table2Specs(opts)...)
+	plan.Add(Fig5Specs(opts)...)
+	plan.Add(Fig6Specs(opts)...)
+	plan.Add(Table3Specs(opts)...)
+	plan.Add(AblationSpecs(opts)...)
+	rs, err := runner.Execute(plan, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+	raw, err := os.ReadFile(filepath.Join("testdata", "equiv_small_full.sha256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(string(raw))
+	if got != want {
+		t.Fatalf("full-sweep results hash %s differs from the pre-interface golden %s", got, want)
+	}
+}

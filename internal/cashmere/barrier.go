@@ -2,7 +2,7 @@ package cashmere
 
 import (
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 )
 
 // treeBarrier implements the paper's §3.3.2 application barriers: upon
@@ -14,7 +14,7 @@ const barrierArity = 4
 
 type treeBarrier struct {
 	// words layout per barrier id: [nprocs arrival words][1 release word].
-	words  *memchan.WordArray
+	words  *interconnect.WordArray
 	stride int
 	nprocs int
 	epoch  [][]int64 // [barrier][rank]
@@ -27,7 +27,7 @@ func newTreeBarrier(rt *core.Runtime, numBarriers int) *treeBarrier {
 		nprocs: n,
 		epoch:  make([][]int64, numBarriers),
 	}
-	b.words = rt.Net().NewWordArray("barrier", numBarriers*b.stride, memchan.TrafficSync)
+	b.words = rt.Net().NewWordArray("barrier", numBarriers*b.stride, interconnect.TrafficSync)
 	for i := range b.epoch {
 		b.epoch[i] = make([]int64, n)
 	}

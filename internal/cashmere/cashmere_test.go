@@ -5,7 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 )
@@ -15,7 +15,7 @@ func testConfig(nodes, ppn int, variant string, ccfg Config) core.Config {
 	cfg := core.Config{
 		Nodes:        nodes,
 		ProcsPerNode: ppn,
-		MC:           memchan.DefaultParams(),
+		MC:           interconnect.MCFirstGeneration(),
 		Costs:        core.DefaultCosts(),
 		NewProtocol:  New(ccfg),
 		Variant:      variant,

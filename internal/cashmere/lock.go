@@ -2,7 +2,7 @@ package cashmere
 
 import (
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/sim"
 )
 
@@ -15,15 +15,15 @@ import (
 // backs off, and retries. Application and protocol locks share this
 // implementation, as in the paper.
 type lockSpace struct {
-	words *memchan.WordArray // [lock*nodes + node]
-	flags [][]bool           // [lock][node]: node-local test-and-set flag
+	words *interconnect.WordArray // [lock*nodes + node]
+	flags [][]bool                // [lock][node]: node-local test-and-set flag
 	nodes int
 }
 
 func newLockSpace(rt *core.Runtime, name string, numLocks int) *lockSpace {
 	nodes := rt.Engine().Config().Nodes
 	ls := &lockSpace{
-		words: rt.Net().NewWordArray(name, numLocks*nodes, memchan.TrafficSync),
+		words: rt.Net().NewWordArray(name, numLocks*nodes, interconnect.TrafficSync),
 		flags: make([][]bool, numLocks),
 		nodes: nodes,
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -80,6 +80,7 @@ type Protocol struct {
 	wnAppends       int64
 	homeAssignments int64
 	fetchRequests   int64
+	remoteReads     int64
 	exclEntries     int64
 }
 
@@ -143,7 +144,7 @@ func (c *Protocol) super(page int) int {
 // on the node's word plus the broadcast of the new word.
 func (c *Protocol) dirUpdate(p *core.Proc) {
 	p.ChargeProtocol(p.Costs().LLSC + p.Costs().DirectoryMod)
-	c.rt.Net().AccountTraffic(memchan.TrafficMeta, 8)
+	c.rt.Net().AccountTraffic(interconnect.TrafficMeta, 8)
 	c.dirUpdates++
 }
 
@@ -202,7 +203,7 @@ func (c *Protocol) readMiss(p *core.Proc, page int) {
 		c.dirUpdate(p)
 		c.locks.acquire(p, c.nleLock(former))
 		if c.nle[former].add(page) {
-			c.rt.Net().AccountTraffic(memchan.TrafficMeta, 8)
+			c.rt.Net().AccountTraffic(interconnect.TrafficMeta, 8)
 		}
 		c.locks.release(p, c.nleLock(former))
 	}
@@ -210,14 +211,28 @@ func (c *Protocol) readMiss(p *core.Proc, page int) {
 }
 
 // fetchPage brings the home copy into p's local frame. On the home node this
-// is a local memory copy; otherwise a processor at the home node is asked to
-// write the page through the Memory Channel (variant-dependent service).
+// is a local memory copy. Remotely, the path depends on the interconnect: on
+// a network with one-sided remote reads the faulting processor pulls the
+// home copy directly, with no processor at the home node involved; on the
+// Memory Channel (remote-writes-only) a processor at the home node is asked
+// to write the page through the network (variant-dependent service).
 func (c *Protocol) fetchPage(p *core.Proc, page, home int) {
 	frame := p.Space().EnsureFrame(page)
 	hf := c.homeFrame(page)
 	if p.Node() == home {
 		p.ChargeProtocol(p.Costs().Copy(vm.PageSize))
 		copy(frame, hf)
+		p.Stats().PageCopies++
+		return
+	}
+	if c.rt.Net().Caps().RemoteReads {
+		c.remoteReads++
+		p.Sim().Yield() // scheduling point before a globally visible action
+		arrival := c.rt.Net().RemoteRead(p.Sim(), home, vm.PageSize, interconnect.TrafficPage)
+		p.Sim().AdvanceTo(arrival)
+		p.ChargeProtocol(p.Costs().Copy(vm.PageSize))
+		copy(frame, hf)
+		p.Stats().PageTransfers++
 		p.Stats().PageCopies++
 		return
 	}
@@ -378,7 +393,7 @@ func (c *Protocol) releasePage(p *core.Proc, page int, mayExclusive bool) {
 		if c.wn[q].add(page) {
 			c.wnAppends++
 			p.Stats().WriteNotices++
-			c.rt.Net().AccountTraffic(memchan.TrafficMeta, 8)
+			c.rt.Net().AccountTraffic(interconnect.TrafficMeta, 8)
 		}
 		c.locks.release(p, c.wnLock(q))
 	}
@@ -399,7 +414,7 @@ func (c *Protocol) Service(p *core.Proc, m sim.Msg, req msg.Request) {
 		// the Memory Channel: data crosses the local bus twice (§1).
 		p.ChargeProtocol(p.Costs().HandlerWork + p.Costs().Copy(vm.PageSize))
 		snapshot := append([]byte(nil), c.homeFrame(page)...)
-		p.EP().ReplyClass(req.From, req, snapshot, vm.PageSize, memchan.TrafficPage)
+		p.EP().ReplyClass(req.From, req, snapshot, vm.PageSize, interconnect.TrafficPage)
 	default:
 		panic(fmt.Sprintf("cashmere: unknown request kind %d", m.Kind))
 	}
@@ -413,8 +428,8 @@ func (c *Protocol) Finalize(p *core.Proc) {}
 // reflected writes: the accessing processor writes the remote home node's
 // frame directly (OnSharedWrite doubling, releasePage flushes), mutates the
 // shared page directory and global lock/barrier words in place, and drives
-// the memchan occupancy model (linkFree/aggFree), which is itself a single
-// cluster-wide structure. None of that is confined to the accessing node's
+// the interconnect occupancy model (link/aggregate horizons), which is
+// itself a single cluster-wide structure. None of that is confined to the accessing node's
 // scheduling domain, so the node-parallel engine must not run this protocol;
 // core.Run falls back to the sequential engine.
 func (c *Protocol) DomainSafe() bool { return false }
@@ -430,15 +445,21 @@ func (c *Protocol) DomainSafe() bool { return false }
 // executions.
 func (c *Protocol) MaxCostJitter() float64 { return 1.0 }
 
-// Counters implements core.Protocol.
+// Counters implements core.Protocol. The remote-read counter appears only
+// when the interconnect actually served one-sided page reads, so Memory
+// Channel results serialize exactly as before.
 func (c *Protocol) Counters() map[string]int64 {
-	return map[string]int64{
+	m := map[string]int64{
 		"dir_updates":       c.dirUpdates,
 		"wn_appends":        c.wnAppends,
 		"home_assignments":  c.homeAssignments,
 		"page_fetch_reqs":   c.fetchRequests,
 		"exclusive_entries": c.exclEntries,
 	}
+	if c.remoteReads > 0 {
+		m["remote_page_reads"] = c.remoteReads
+	}
+	return m
 }
 
 func maxInt(a, b int) int {

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -14,7 +14,7 @@ func seqConfig() Config {
 	return Config{
 		Nodes:        1,
 		ProcsPerNode: 1,
-		MC:           memchan.DefaultParams(),
+		MC:           interconnect.MCFirstGeneration(),
 		Msg:          msg.DefaultParams(msg.ModePoll),
 		Costs:        DefaultCosts(),
 		NewProtocol:  NewNullProtocol,

@@ -53,7 +53,7 @@ type Protocol interface {
 // (timestamped messages carrying at least the declared lookahead). Protocols
 // that mutate cluster-global Go structures directly from the accessing
 // processor — remote home-node frames, global directories, shared lock words,
-// the memchan link-occupancy model — must answer false, and core.Run then
+// the interconnect link-occupancy model — must answer false, and core.Run then
 // falls back to the sequential engine regardless of Config.Parallel.
 //
 // Protocols that do not implement the interface are treated as unsafe.

@@ -6,7 +6,7 @@ import (
 	"math"
 
 	"repro/internal/cache"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -25,8 +25,13 @@ type Config struct {
 	// PollingInstrumented charges the poll-check cost at application poll
 	// points (the polling variants' instrumentation overhead).
 	PollingInstrumented bool
-	// MC configures the Memory Channel model.
-	MC memchan.Params
+	// MC configures the Memory Channel model (used when Net selects it,
+	// which the zero Net value does).
+	MC interconnect.MCParams
+	// Net selects the cluster interconnect. The zero value is the Memory
+	// Channel (with the MC parameters above), so legacy configurations are
+	// unchanged; other kinds carry their parameters inside the spec.
+	Net interconnect.Spec
 	// Msg configures the messaging layer (notification mechanism).
 	Msg msg.Params
 	// Costs is the operation cost model.
@@ -57,7 +62,7 @@ func (c Config) Validate() error {
 	if c.Nodes <= 0 || c.ProcsPerNode <= 0 {
 		return fmt.Errorf("core: bad cluster shape %dx%d", c.Nodes, c.ProcsPerNode)
 	}
-	if err := c.MC.Validate(); err != nil {
+	if err := c.clusterSpec().Validate(); err != nil {
 		return err
 	}
 	if err := c.Msg.Validate(); err != nil {
@@ -78,6 +83,17 @@ func (c Config) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// clusterSpec is the validated cluster description Run builds the engine
+// and interconnect from: ProcsPerNode counts every engine processor,
+// including the dedicated protocol processor when the variant adds one.
+func (c Config) clusterSpec() interconnect.ClusterSpec {
+	ppn := c.ProcsPerNode
+	if c.DedicatedServer {
+		ppn++
+	}
+	return interconnect.ClusterSpec{Nodes: c.Nodes, ProcsPerNode: ppn, MC: c.MC, Net: c.Net}
 }
 
 // Program is one application: its shared-memory footprint, synchronization
@@ -139,7 +155,7 @@ type Runtime struct {
 	prog *Program
 
 	eng   *sim.Engine
-	net   *memchan.Net
+	net   interconnect.Interconnect
 	proto Protocol
 
 	computeProcs []*Proc // by rank
@@ -156,8 +172,9 @@ type Runtime struct {
 // Engine returns the simulation engine.
 func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
 
-// Net returns the Memory Channel model.
-func (rt *Runtime) Net() *memchan.Net { return rt.net }
+// Net returns the cluster interconnect (the Memory Channel model unless the
+// configuration selected another kind).
+func (rt *Runtime) Net() interconnect.Interconnect { return rt.net }
 
 // Config returns the run configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
@@ -258,15 +275,12 @@ func Run(cfg Config, prog *Program) (res *Result, err error) {
 	if prog.Body == nil {
 		return nil, fmt.Errorf("core: program %q has no body", prog.Name)
 	}
-	ppn := cfg.ProcsPerNode
-	if cfg.DedicatedServer {
-		ppn++
-	}
-	eng, err := sim.NewEngine(sim.Config{Nodes: cfg.Nodes, ProcsPerNode: ppn})
+	cs := cfg.clusterSpec()
+	eng, err := sim.NewEngine(cs.EngineConfig())
 	if err != nil {
 		return nil, err
 	}
-	net, err := memchan.New(eng, cfg.MC)
+	net, err := cs.Build(eng)
 	if err != nil {
 		return nil, err
 	}
@@ -323,14 +337,14 @@ func Run(cfg Config, prog *Program) (res *Result, err error) {
 	// implement DomainSafety are treated as unsafe. The explicit SetParallel
 	// also suppresses an environment request the protocol cannot honor. The
 	// lookahead is owned by the network model: no cross-node interaction the
-	// Memory Channel mediates arrives sooner than MinCrossNodeLatency.
+	// interconnect mediates arrives sooner than MinCrossNodeLatency.
 	safe := false
 	if ds, ok := rt.proto.(DomainSafety); ok {
 		safe = ds.DomainSafe()
 	}
 	eng.SetParallel((cfg.Parallel || sim.ParallelRequested()) && safe)
 	if safe {
-		eng.SetLookahead(cfg.MC.MinCrossNodeLatency())
+		eng.SetLookahead(net.MinCrossNodeLatency())
 	}
 	if cfg.Schedule.Enabled() {
 		// A perturbed schedule stretches protocol operation costs; that is
@@ -428,7 +442,7 @@ func (rt *Runtime) result() *Result {
 			res.Time = st.FinishedAt
 		}
 	}
-	for tc := memchan.TrafficClass(0); tc < memchan.NumTrafficClasses; tc++ {
+	for tc := interconnect.TrafficClass(0); tc < interconnect.NumTrafficClasses; tc++ {
 		res.Traffic[tc.String()] = rt.net.TrafficBytes(tc)
 	}
 	return res

@@ -1,5 +1,5 @@
-// Package memchan models DEC's Memory Channel network (paper §3.1) for the
-// simulated cluster.
+// Memory Channel backend: DEC's Memory Channel network (paper §3.1), the
+// reference Interconnect implementation.
 //
 // The model reproduces the properties the DSM protocols actually depend on:
 //
@@ -26,7 +26,7 @@
 // version for remote readers inside the visibility window rather than a full
 // history, and the write-through pipe charges per-link bandwidth without
 // aggregate contention (bulk transfers charge both).
-package memchan
+package interconnect
 
 import (
 	"fmt"
@@ -34,10 +34,10 @@ import (
 	"repro/internal/sim"
 )
 
-// Params are the Memory Channel timing and capacity parameters. Zero values
-// are invalid; use DefaultParams (first-generation MC, as measured in the
-// paper) or SecondGeneration for the paper's projection.
-type Params struct {
+// MCParams are the Memory Channel timing and capacity parameters. Zero
+// values are invalid; use the MCFirstGeneration preset (as measured in the
+// paper) or MCSecondGeneration for the paper's projection.
+type MCParams struct {
 	// Latency is the process-to-process write latency (paper: 5.2 µs).
 	Latency sim.Time
 	// WriteCost is the processor-side cost of issuing one PIO write to a
@@ -60,10 +60,10 @@ type Params struct {
 	WriteBufferBytes int64
 }
 
-// DefaultParams models the first-generation Memory Channel measured in the
-// paper.
-func DefaultParams() Params {
-	return Params{
+// MCFirstGeneration models the first-generation Memory Channel measured in
+// the paper.
+func MCFirstGeneration() MCParams {
+	return MCParams{
 		Latency:            5200, // 5.2 µs
 		WriteCost:          250,  // PIO store over 32-bit PCI
 		LinkBandwidth:      30e6,
@@ -74,11 +74,11 @@ func DefaultParams() Params {
 	}
 }
 
-// SecondGeneration models the paper's §1 projection for the follow-on
+// MCSecondGeneration models the paper's §1 projection for the follow-on
 // network: "something like half the latency, and an order of magnitude more
 // bandwidth".
-func SecondGeneration() Params {
-	p := DefaultParams()
+func MCSecondGeneration() MCParams {
+	p := MCFirstGeneration()
 	p.Latency /= 2
 	p.LinkBandwidth *= 10
 	p.AggregateBandwidth *= 10
@@ -88,12 +88,8 @@ func SecondGeneration() Params {
 // MinCrossNodeLatency returns the smallest virtual latency any cross-node
 // interaction modeled by these parameters can carry: reflected writes and
 // bulk transfers arrive no earlier than Latency after they are issued, and
-// inter-node interrupts no earlier than InterruptLatency. This is the safe
-// lookahead a node-parallel simulation (sim.SetLookahead) may declare for a
-// cluster whose nodes interact only through this network model. It does NOT
-// cover msg.Endpoint.Shutdown, which delivers teardown notices at zero
-// latency; a parallel run must quiesce cross-node traffic before shutdown.
-func (p Params) MinCrossNodeLatency() sim.Time {
+// inter-node interrupts no earlier than InterruptLatency.
+func (p MCParams) MinCrossNodeLatency() sim.Time {
 	min := p.Latency
 	if p.InterruptLatency < min {
 		min = p.InterruptLatency
@@ -102,56 +98,21 @@ func (p Params) MinCrossNodeLatency() sim.Time {
 }
 
 // Validate reports whether the parameters are usable.
-func (p Params) Validate() error {
+func (p MCParams) Validate() error {
 	if p.Latency <= 0 || p.WriteCost <= 0 || p.InterruptSendCost <= 0 || p.InterruptLatency <= 0 {
-		return fmt.Errorf("memchan: non-positive timing parameter: %+v", p)
+		return fmt.Errorf("interconnect: non-positive Memory Channel timing parameter: %+v", p)
 	}
 	if p.LinkBandwidth <= 0 || p.AggregateBandwidth <= 0 || p.WriteBufferBytes <= 0 {
-		return fmt.Errorf("memchan: non-positive capacity parameter: %+v", p)
+		return fmt.Errorf("interconnect: non-positive Memory Channel capacity parameter: %+v", p)
 	}
 	return nil
 }
 
-// TrafficClass labels Memory Channel traffic for the statistics the paper's
-// Table 3 and Figure 6 break down.
-type TrafficClass int
-
-const (
-	// TrafficDoubling is write-through traffic from doubled shared writes.
-	TrafficDoubling TrafficClass = iota
-	// TrafficPage is whole-page (and diff) data transfer traffic.
-	TrafficPage
-	// TrafficMeta is directory and write-notice traffic.
-	TrafficMeta
-	// TrafficSync is lock and barrier traffic.
-	TrafficSync
-	// TrafficMessage is request/response message traffic.
-	TrafficMessage
-	// NumTrafficClasses is the number of traffic classes; valid classes are
-	// TrafficClass(0) through NumTrafficClasses-1, so callers can iterate
-	// without probing String() for a sentinel.
-	NumTrafficClasses
-)
-
-func (tc TrafficClass) String() string {
-	switch tc {
-	case TrafficDoubling:
-		return "doubling"
-	case TrafficPage:
-		return "page"
-	case TrafficMeta:
-		return "meta"
-	case TrafficSync:
-		return "sync"
-	case TrafficMessage:
-		return "message"
-	}
-	return "unknown"
-}
-
-// Net is the Memory Channel instance for one simulated cluster.
-type Net struct {
-	params Params
+// mcNet is the Memory Channel instance for one simulated cluster. Construct
+// it through ClusterSpec.Build.
+type mcNet struct {
+	stats
+	params MCParams
 	eng    *sim.Engine
 
 	// linkFree[n] is the virtual time at which node n's adapter link is next
@@ -161,27 +122,14 @@ type Net struct {
 
 	// pipe[p] is the write-through pipe state for processor p.
 	pipe []pipeState
-
-	bytesByClass [NumTrafficClasses]int64
-	writesIssued int64
-	transfers    int64
-	interrupts   int64
 }
 
-type pipeState struct {
-	// drainAt is the virtual time at which all write-through bytes issued so
-	// far will have drained onto the link.
-	drainAt sim.Time
-	// bytes counts total doubled bytes issued (stats).
-	bytes int64
-}
-
-// New creates a Memory Channel for the engine's cluster.
-func New(eng *sim.Engine, params Params) (*Net, error) {
+// newMemoryChannel creates a Memory Channel for the engine's cluster.
+func newMemoryChannel(eng *sim.Engine, params MCParams) (*mcNet, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Net{
+	return &mcNet{
 		params:   params,
 		eng:      eng,
 		linkFree: make([]sim.Time, eng.Config().Nodes),
@@ -189,42 +137,28 @@ func New(eng *sim.Engine, params Params) (*Net, error) {
 	}, nil
 }
 
+// Kind implements Interconnect.
+func (n *mcNet) Kind() Kind { return MemoryChannel }
+
+// Caps implements Interconnect: no remote reads (paper §3.1), total write
+// ordering.
+func (n *mcNet) Caps() Caps { return Caps{RemoteReads: false, TotalWriteOrder: true} }
+
 // Params returns the network parameters.
-func (n *Net) Params() Params { return n.params }
+func (n *mcNet) Params() MCParams { return n.params }
 
-// TrafficBytes returns the bytes transferred so far in the given class.
-func (n *Net) TrafficBytes(tc TrafficClass) int64 { return n.bytesByClass[tc] }
+// MinCrossNodeLatency implements Interconnect.
+func (n *mcNet) MinCrossNodeLatency() sim.Time { return n.params.MinCrossNodeLatency() }
 
-// TotalTraffic returns all bytes transferred.
-func (n *Net) TotalTraffic() int64 {
-	var t int64
-	for _, b := range n.bytesByClass {
-		t += b
-	}
-	return t
-}
+// InterruptSendCost implements Interconnect.
+func (n *mcNet) InterruptSendCost() sim.Time { return n.params.InterruptSendCost }
 
-// Transfers returns the number of bulk transfers performed.
-func (n *Net) Transfers() int64 { return n.transfers }
+// InterruptLatency implements Interconnect.
+func (n *mcNet) InterruptLatency() sim.Time { return n.params.InterruptLatency }
 
-// Interrupts returns the number of inter-node interrupts sent.
-func (n *Net) Interrupts() int64 { return n.interrupts }
-
-// durOn returns the time bytes occupy a pipe of the given bandwidth.
-func durOn(bytes int64, bw int64) sim.Time {
-	if bytes <= 0 {
-		return 0
-	}
-	return sim.Time(bytes * int64(sim.Second) / bw)
-}
-
-// Transfer models a bulk data movement of size bytes from the caller's node
-// to node dst (page copies, diffs, message payloads). The caller is charged
-// the PIO issue cost; the returned time is when the data is fully visible in
-// dst's receive region, accounting for link and aggregate bandwidth
-// occupancy and the MC latency. The caller's clock is advanced past the
-// issue cost but NOT to the arrival time (writes are asynchronous).
-func (n *Net) Transfer(p *sim.Proc, dst int, bytes int64, tc TrafficClass) sim.Time {
+// Transfer implements Interconnect: the arrival time accounts for link and
+// aggregate bandwidth occupancy plus the MC latency.
+func (n *mcNet) Transfer(p *sim.Proc, dst int, bytes int64, tc TrafficClass) sim.Time {
 	p.Advance(n.params.WriteCost)
 	src := p.Node
 	start := p.Now()
@@ -253,11 +187,15 @@ func (n *Net) Transfer(p *sim.Proc, dst int, bytes int64, tc TrafficClass) sim.T
 	return arrival
 }
 
-// WriteThrough models one doubled shared-memory write of size bytes headed to
-// the home node home. It is deliberately cheap: the store cost itself is
-// charged by the caller's cost model; this call only accounts for write
-// buffer and link occupancy, stalling the writer if the buffer is full.
-func (n *Net) WriteThrough(p *sim.Proc, home int, bytes int64) {
+// RemoteRead implements Interconnect: the Memory Channel has no remote
+// reads. The protocols emulate them with messages (Cashmere asks a processor
+// at the home node to write the data through, §2.1).
+func (n *mcNet) RemoteRead(p *sim.Proc, src int, bytes int64, tc TrafficClass) sim.Time {
+	panic("interconnect: the Memory Channel has no remote reads (Caps().RemoteReads is false)")
+}
+
+// WriteThrough implements Interconnect.
+func (n *mcNet) WriteThrough(p *sim.Proc, home int, bytes int64) {
 	ps := &n.pipe[p.ID]
 	if ps.drainAt < p.Now() {
 		ps.drainAt = p.Now()
@@ -271,10 +209,8 @@ func (n *Net) WriteThrough(p *sim.Proc, home int, bytes int64) {
 	}
 }
 
-// FenceTime returns the virtual time at which all of processor p's
-// write-through traffic issued so far is guaranteed applied at its home
-// nodes (drain plus latency). Cashmere's release operation waits for this.
-func (n *Net) FenceTime(p *sim.Proc) sim.Time {
+// FenceTime implements Interconnect (drain plus latency).
+func (n *mcNet) FenceTime(p *sim.Proc) sim.Time {
 	d := n.pipe[p.ID].drainAt
 	if d < p.Now() {
 		d = p.Now()
@@ -283,20 +219,16 @@ func (n *Net) FenceTime(p *sim.Proc) sim.Time {
 }
 
 // DoubledBytes returns the total write-through bytes issued by processor p.
-func (n *Net) DoubledBytes(p *sim.Proc) int64 { return n.pipe[p.ID].bytes }
+func (n *mcNet) DoubledBytes(p *sim.Proc) int64 { return n.pipe[p.ID].bytes }
 
-// AccountTraffic records bytes of Memory Channel traffic in the given class
-// without occupancy modelling, for small metadata writes whose cost the
-// caller charges explicitly (directory broadcast updates).
-func (n *Net) AccountTraffic(tc TrafficClass, bytes int64) {
-	n.bytesByClass[tc] += bytes
-}
-
-// Interrupt sends an imc_kill-style inter-node signal to the target
-// processor: the sender pays the send cost, and the target's inbox receives
-// a message with the given kind and payload at now + InterruptLatency.
-func (n *Net) Interrupt(p *sim.Proc, target *sim.Proc, kind int, data any) {
+// Interrupt implements Interconnect: an imc_kill-style inter-node signal.
+func (n *mcNet) Interrupt(p *sim.Proc, target *sim.Proc, kind int, data any) {
 	p.Advance(n.params.InterruptSendCost)
 	n.interrupts++
 	target.Deliver(p.NewMsg(p.Now()+n.params.InterruptLatency, kind, data))
+}
+
+// NewWordArray implements Interconnect.
+func (n *mcNet) NewWordArray(name string, nwords int, tc TrafficClass) *WordArray {
+	return newWordArray(&n.stats, n.params.WriteCost, n.params.Latency, name, nwords, tc)
 }

@@ -1,4 +1,4 @@
-package memchan
+package interconnect
 
 import (
 	"strings"
@@ -7,32 +7,33 @@ import (
 	"repro/internal/sim"
 )
 
-func testCluster(t *testing.T, nodes, ppn int) (*sim.Engine, *Net) {
+func testCluster(t *testing.T, nodes, ppn int) (*sim.Engine, *mcNet) {
 	t.Helper()
-	eng, err := sim.NewEngine(sim.Config{Nodes: nodes, ProcsPerNode: ppn})
+	cs := ClusterSpec{Nodes: nodes, ProcsPerNode: ppn}
+	eng, err := sim.NewEngine(cs.EngineConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := New(eng, DefaultParams())
+	net, err := cs.Build(eng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return eng, net
+	return eng, net.(*mcNet)
 }
 
 func TestParamsValidate(t *testing.T) {
-	if err := DefaultParams().Validate(); err != nil {
-		t.Errorf("DefaultParams invalid: %v", err)
+	if err := MCFirstGeneration().Validate(); err != nil {
+		t.Errorf("MCFirstGeneration invalid: %v", err)
 	}
-	if err := SecondGeneration().Validate(); err != nil {
-		t.Errorf("SecondGeneration invalid: %v", err)
+	if err := MCSecondGeneration().Validate(); err != nil {
+		t.Errorf("MCSecondGeneration invalid: %v", err)
 	}
-	bad := DefaultParams()
+	bad := MCFirstGeneration()
 	bad.Latency = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero latency accepted")
 	}
-	bad = DefaultParams()
+	bad = MCFirstGeneration()
 	bad.LinkBandwidth = -1
 	if err := bad.Validate(); err == nil {
 		t.Error("negative bandwidth accepted")
@@ -40,7 +41,7 @@ func TestParamsValidate(t *testing.T) {
 }
 
 func TestSecondGenerationScaling(t *testing.T) {
-	d, s := DefaultParams(), SecondGeneration()
+	d, s := MCFirstGeneration(), MCSecondGeneration()
 	if s.Latency != d.Latency/2 {
 		t.Errorf("latency = %d, want half of %d", s.Latency, d.Latency)
 	}
@@ -57,6 +58,20 @@ func TestTrafficClassString(t *testing.T) {
 		if got := tc.String(); got != want {
 			t.Errorf("TrafficClass(%d).String() = %q, want %q", tc, got, want)
 		}
+	}
+}
+
+func TestMCKindAndCaps(t *testing.T) {
+	_, net := testCluster(t, 2, 1)
+	if net.Kind() != MemoryChannel {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+	caps := net.Caps()
+	if caps.RemoteReads {
+		t.Error("Memory Channel claims remote reads")
+	}
+	if !caps.TotalWriteOrder {
+		t.Error("Memory Channel does not claim total write order")
 	}
 }
 
@@ -271,10 +286,14 @@ func TestInterruptDelivery(t *testing.T) {
 	}
 }
 
-func TestNewRejectsBadParams(t *testing.T) {
-	eng, _ := testCluster(t, 1, 1)
-	if _, err := New(eng, Params{}); err == nil {
-		t.Fatal("New accepted zero params")
+func TestBuildRejectsBadParams(t *testing.T) {
+	cs := ClusterSpec{Nodes: 1, ProcsPerNode: 1, MC: MCParams{Latency: -1}}
+	eng, err := sim.NewEngine(cs.EngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Build(eng); err == nil {
+		t.Fatal("Build accepted bad MC params")
 	}
 }
 
@@ -342,13 +361,13 @@ func TestWordVisibilityTwoWritesWindow(t *testing.T) {
 // it must be the smallest latency any cross-node interaction can carry, and
 // every modeled cross-node arrival must respect it.
 func TestMinCrossNodeLatency(t *testing.T) {
-	if got, want := DefaultParams().MinCrossNodeLatency(), sim.Time(5200); got != want {
-		t.Errorf("DefaultParams MinCrossNodeLatency = %d, want %d", got, want)
+	if got, want := MCFirstGeneration().MinCrossNodeLatency(), sim.Time(5200); got != want {
+		t.Errorf("MCFirstGeneration MinCrossNodeLatency = %d, want %d", got, want)
 	}
-	if got, want := SecondGeneration().MinCrossNodeLatency(), sim.Time(2600); got != want {
-		t.Errorf("SecondGeneration MinCrossNodeLatency = %d, want %d", got, want)
+	if got, want := MCSecondGeneration().MinCrossNodeLatency(), sim.Time(2600); got != want {
+		t.Errorf("MCSecondGeneration MinCrossNodeLatency = %d, want %d", got, want)
 	}
-	fast := DefaultParams()
+	fast := MCFirstGeneration()
 	fast.InterruptLatency = 100 // hypothetical: interrupts faster than writes
 	if got, want := fast.MinCrossNodeLatency(), sim.Time(100); got != want {
 		t.Errorf("fast-interrupt MinCrossNodeLatency = %d, want %d", got, want)

@@ -1,0 +1,167 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Spec selects an interconnect model and its parameters in configuration
+// (core.Config, variants.Options, dsmrun/dsmbench flags, results JSON). The
+// zero value selects the Memory Channel — the reference model — so every
+// legacy configuration keeps meaning exactly what it meant before the
+// interconnect became pluggable.
+//
+// Memory Channel parameters deliberately do NOT live here: they flow through
+// the existing MC channel (core.Config.MC / variants.Options.MC), keeping
+// one home per knob and keeping legacy cache keys and serialized options
+// byte-identical. The non-default kinds carry their parameters as optional
+// pointers; nil means the kind's preset, so "rdma" and "rdma with explicit
+// default parameters" normalize to the same canonical identity.
+type Spec struct {
+	// Kind selects the model; empty means MemoryChannel.
+	Kind Kind `json:"kind"`
+	// RDMA overrides the RDMA parameters (nil: the DefaultRDMA preset).
+	// Only meaningful when Kind is RDMA.
+	RDMA *RDMAParams `json:"rdma,omitempty"`
+	// Switched overrides the switched-fabric parameters (nil: the
+	// DefaultSwitched preset). Only meaningful when Kind is Switched.
+	Switched *SwitchedParams `json:"switched,omitempty"`
+}
+
+// ParseKind maps a flag value to a Kind ("" and "mc" mean the Memory
+// Channel).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "mc", "memchan":
+		return MemoryChannel, nil
+	case "rdma":
+		return RDMA, nil
+	case "switched":
+		return Switched, nil
+	}
+	return "", fmt.Errorf("interconnect: unknown kind %q (have memchan, rdma, switched)", s)
+}
+
+// IsMemoryChannel reports whether the spec (after normalization) selects
+// the reference Memory Channel model.
+func (s Spec) IsMemoryChannel() bool {
+	return s.Kind == "" || s.Kind == MemoryChannel
+}
+
+// Normalized returns the spec in canonical form: the kind is named
+// explicitly, the selected kind's parameters are materialized from their
+// preset when absent, and parameters of unselected kinds are dropped. Two
+// specs that normalize equally select the same model.
+func (s Spec) Normalized() Spec {
+	out := Spec{Kind: s.Kind}
+	if s.IsMemoryChannel() {
+		out.Kind = MemoryChannel
+		return out
+	}
+	switch s.Kind {
+	case RDMA:
+		p := DefaultRDMA()
+		if s.RDMA != nil {
+			p = *s.RDMA
+		}
+		out.RDMA = &p
+	case Switched:
+		p := DefaultSwitched()
+		if s.Switched != nil {
+			p = *s.Switched
+		}
+		out.Switched = &p
+	}
+	return out
+}
+
+// Validate reports whether the spec names a known kind with usable
+// parameters. Memory Channel parameter validation happens where those
+// parameters live (ClusterSpec / core.Config).
+func (s Spec) Validate() error {
+	n := s.Normalized()
+	switch n.Kind {
+	case MemoryChannel:
+		return nil
+	case RDMA:
+		return n.RDMA.Validate()
+	case Switched:
+		return n.Switched.Validate()
+	}
+	return fmt.Errorf("interconnect: unknown kind %q", s.Kind)
+}
+
+// String renders the normalized spec for canonical run keys: stable,
+// parameter-complete, and free of pointer addresses.
+func (s Spec) String() string {
+	n := s.Normalized()
+	switch n.Kind {
+	case RDMA:
+		return fmt.Sprintf("%s:%+v", n.Kind, *n.RDMA)
+	case Switched:
+		return fmt.Sprintf("%s:%+v", n.Kind, *n.Switched)
+	}
+	return string(n.Kind)
+}
+
+// ClusterSpec is the single validated description of a simulated cluster:
+// its shape (nodes x processors per node, where ProcsPerNode counts every
+// engine processor, including a dedicated protocol processor if the variant
+// adds one) and its interconnect. It replaces the old positional
+// memchan.New(eng, params) construction: every backend is built here, after
+// one validation pass.
+type ClusterSpec struct {
+	// Nodes and ProcsPerNode give the engine shape.
+	Nodes        int
+	ProcsPerNode int
+	// MC configures the Memory Channel model (used when Net selects it; the
+	// zero value means the MCFirstGeneration preset).
+	MC MCParams
+	// Net selects the interconnect (zero value: Memory Channel).
+	Net Spec
+}
+
+// mcParams returns the Memory Channel parameters with the zero value
+// defaulted to the first-generation preset.
+func (cs ClusterSpec) mcParams() MCParams {
+	if cs.MC == (MCParams{}) {
+		return MCFirstGeneration()
+	}
+	return cs.MC
+}
+
+// Validate reports whether the cluster shape and the selected
+// interconnect's parameters are usable.
+func (cs ClusterSpec) Validate() error {
+	if cs.Nodes <= 0 || cs.ProcsPerNode <= 0 {
+		return fmt.Errorf("interconnect: bad cluster shape %dx%d", cs.Nodes, cs.ProcsPerNode)
+	}
+	if cs.Net.Normalized().IsMemoryChannel() {
+		return cs.mcParams().Validate()
+	}
+	return cs.Net.Validate()
+}
+
+// EngineConfig returns the simulation-engine configuration for this shape.
+func (cs ClusterSpec) EngineConfig() sim.Config {
+	return sim.Config{Nodes: cs.Nodes, ProcsPerNode: cs.ProcsPerNode}
+}
+
+// Build constructs the selected interconnect for an engine created from
+// this spec (or any engine with the same cluster shape).
+func (cs ClusterSpec) Build(eng *sim.Engine) (Interconnect, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	n := cs.Net.Normalized()
+	switch n.Kind {
+	case MemoryChannel:
+		return newMemoryChannel(eng, cs.mcParams())
+	case RDMA:
+		return newRDMA(eng, *n.RDMA)
+	case Switched:
+		return newSwitched(eng, *n.Switched)
+	}
+	return nil, fmt.Errorf("interconnect: unknown kind %q", cs.Net.Kind)
+}

@@ -1,4 +1,4 @@
-package memchan
+package interconnect
 
 import (
 	"fmt"
@@ -8,19 +8,26 @@ import (
 
 // WordArray is a region of 8-byte words mapped for transmit and receive on
 // every node: the representation used for Cashmere's page directory, lock
-// arrays, barrier flags, and message flow-control flags.
+// arrays, barrier flags, and message flow-control flags. Every backend
+// provides it (NewWordArray); only the store cost and the visibility latency
+// differ per fabric.
 //
 // Visibility model: a write performed at virtual time t becomes visible to
-// remote nodes at t+Latency. With Write, the writer's own node sees the new
-// value immediately (the implementation writes the local receive region
-// directly, paper §3.3); with WriteLoopback everyone, including the writer's
-// node, sees it at t+Latency (paper §3.3.2, used by the lock algorithm).
-// One previous value is retained for readers inside the visibility window.
+// remote nodes at t+latency, where latency is the backend's remote-write
+// visibility horizon (the Memory Channel's 5.2 µs; a switched fabric's
+// worst-case hop count, so that the broadcast keeps total write ordering).
+// With Write, the writer's own node sees the new value immediately (the
+// implementation writes the local receive region directly, paper §3.3); with
+// WriteLoopback everyone, including the writer's node, sees it at t+latency
+// (paper §3.3.2, used by the lock algorithm). One previous value is retained
+// for readers inside the visibility window.
 type WordArray struct {
-	net   *Net
-	name  string
-	tc    TrafficClass
-	words []word
+	st        *stats
+	writeCost sim.Time
+	latency   sim.Time
+	name      string
+	tc        TrafficClass
+	words     []word
 }
 
 type word struct {
@@ -29,10 +36,11 @@ type word struct {
 	writerNode  int // -1: visible per visibleFrom only (loopback write)
 }
 
-// NewWordArray allocates a globally mapped array of n 8-byte words, all zero,
-// charging traffic to the given class.
-func (net *Net) NewWordArray(name string, n int, tc TrafficClass) *WordArray {
-	w := &WordArray{net: net, name: name, tc: tc, words: make([]word, n)}
+// newWordArray allocates a globally mapped array of n 8-byte words, all
+// zero, charging traffic to the given class. Backends call this from their
+// NewWordArray with their own store cost and visibility latency.
+func newWordArray(st *stats, writeCost, latency sim.Time, name string, n int, tc TrafficClass) *WordArray {
+	w := &WordArray{st: st, writeCost: writeCost, latency: latency, name: name, tc: tc, words: make([]word, n)}
 	for i := range w.words {
 		w.words[i].writerNode = -1
 	}
@@ -55,19 +63,18 @@ func (w *WordArray) Read(p *sim.Proc, i int) int64 {
 
 // Write stores v into word i: one store to the local receive region (visible
 // on the writer's node immediately) and one PIO store to the transmit region
-// (visible remotely after the MC latency). The writer is charged two store
-// costs.
+// (visible remotely after the fabric latency). The writer is charged two
+// store costs.
 func (w *WordArray) Write(p *sim.Proc, i int, v int64) {
-	p.Advance(2 * w.net.params.WriteCost)
+	p.Advance(2 * w.writeCost)
 	w.set(p, i, v, p.Node)
 }
 
-// WriteLoopback stores v into word i via the Memory Channel with loop-back
-// enabled: every node, including the writer's, sees the new value only after
-// the MC latency. Used by synchronization primitives that rely on total
-// write ordering.
+// WriteLoopback stores v into word i with loop-back enabled: every node,
+// including the writer's, sees the new value only after the fabric latency.
+// Used by synchronization primitives that rely on total write ordering.
 func (w *WordArray) WriteLoopback(p *sim.Proc, i int, v int64) {
-	p.Advance(w.net.params.WriteCost)
+	p.Advance(w.writeCost)
 	w.set(p, i, v, -1)
 }
 
@@ -75,10 +82,10 @@ func (w *WordArray) set(p *sim.Proc, i int, v int64, writerNode int) {
 	wd := &w.words[i]
 	wd.prev = wd.cur
 	wd.cur = v
-	wd.visibleFrom = p.Now() + w.net.params.Latency
+	wd.visibleFrom = p.Now() + w.latency
 	wd.writerNode = writerNode
-	w.net.bytesByClass[w.tc] += 8
-	w.net.writesIssued++
+	w.st.bytesByClass[w.tc] += 8
+	w.st.writesIssued++
 }
 
 // Spin re-check intervals: start fine-grained so short waits (lock handoffs,
@@ -106,7 +113,7 @@ func (w *WordArray) SpinUntil(p *sim.Proc, i int, pred func(int64) bool) int64 {
 			return v
 		}
 		if p.Now() > deadline {
-			panic(fmt.Sprintf("memchan: proc %d spun for %dns on %s[%d] (value %d) without progress",
+			panic(fmt.Sprintf("interconnect: proc %d spun for %dns on %s[%d] (value %d) without progress",
 				p.ID, spinLimit, w.name, i, v))
 		}
 		p.Sleep(step)

@@ -24,7 +24,7 @@ package msg
 import (
 	"fmt"
 
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/sim"
 )
 
@@ -129,7 +129,7 @@ type Handler func(m sim.Msg, req Request)
 // Endpoint is one processor's attachment to the messaging layer.
 type Endpoint struct {
 	p       *sim.Proc
-	net     *memchan.Net
+	net     interconnect.Interconnect
 	params  Params
 	handler Handler
 
@@ -145,7 +145,7 @@ type Endpoint struct {
 }
 
 // NewEndpoint attaches processor p to the messaging layer.
-func NewEndpoint(p *sim.Proc, net *memchan.Net, params Params) (*Endpoint, error) {
+func NewEndpoint(p *sim.Proc, net interconnect.Interconnect, params Params) (*Endpoint, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,7 +170,7 @@ func (ep *Endpoint) ShutdownRequested() bool { return ep.shutdown }
 
 // send transmits a message of the given wire size to the target processor
 // and returns the data arrival time. Sender-side costs are charged here.
-func (ep *Endpoint) send(target *sim.Proc, bytes int64, tc memchan.TrafficClass) sim.Time {
+func (ep *Endpoint) send(target *sim.Proc, bytes int64, tc interconnect.TrafficClass) sim.Time {
 	ep.messagesSent++
 	ep.bytesSent += bytes
 	ep.p.Advance(ep.params.PerMessageCost)
@@ -194,8 +194,8 @@ func (ep *Endpoint) requestEligibility(target *sim.Proc, arrival sim.Time) sim.T
 			return arrival + ep.params.LocalSignalCost
 		}
 		// Remote signal: the sender-side imc_kill cost.
-		ep.p.Advance(ep.net.Params().InterruptSendCost)
-		lat := ep.net.Params().InterruptLatency
+		ep.p.Advance(ep.net.InterruptSendCost())
+		lat := ep.net.InterruptLatency()
 		if ep.params.Mode == ModeUDP {
 			lat += ep.params.UDPPerMessageCost // kernel receive path
 		}
@@ -210,7 +210,7 @@ func (ep *Endpoint) Send(target *Endpoint, kind int, data any, bytes int64) {
 		panic(fmt.Sprintf("msg: protocol request kind %d must be >= 0", kind))
 	}
 	ep.p.Yield() // scheduling point before a globally visible action
-	arrival := ep.send(target.p, bytes, memchan.TrafficMessage)
+	arrival := ep.send(target.p, bytes, interconnect.TrafficMessage)
 	at := ep.requestEligibility(target.p, arrival)
 	target.p.Deliver(ep.p.NewMsg(at, kind, Request{From: ep.p.ID, Data: data}))
 }
@@ -232,7 +232,7 @@ func (ep *Endpoint) CallStart(target *Endpoint, kind int, data any, bytes int64)
 	ep.nextToken++
 	token := ep.nextToken
 	ep.p.Yield()
-	arrival := ep.send(target.p, bytes, memchan.TrafficMessage)
+	arrival := ep.send(target.p, bytes, interconnect.TrafficMessage)
 	at := ep.requestEligibility(target.p, arrival)
 	target.p.Deliver(ep.p.NewMsg(at, kind, Request{Token: token, From: ep.p.ID, Data: data}))
 	return token
@@ -271,13 +271,13 @@ func (ep *Endpoint) WaitReply(token uint64) any {
 // (it is spinning, so no notification latency applies). Replies carry
 // TrafficMessage accounting; use ReplyClass for bulk data.
 func (ep *Endpoint) Reply(to int, req Request, data any, bytes int64) {
-	ep.ReplyClass(to, req, data, bytes, memchan.TrafficMessage)
+	ep.ReplyClass(to, req, data, bytes, interconnect.TrafficMessage)
 }
 
 // ReplyClass is Reply with an explicit Memory Channel traffic class, so that
 // page and diff payloads are accounted as data traffic rather than protocol
 // messages.
-func (ep *Endpoint) ReplyClass(to int, req Request, data any, bytes int64, tc memchan.TrafficClass) {
+func (ep *Endpoint) ReplyClass(to int, req Request, data any, bytes int64, tc interconnect.TrafficClass) {
 	target := ep.p.Engine().Proc(to)
 	arrival := ep.send(target, bytes, tc)
 	target.Deliver(ep.p.NewMsg(arrival, KindReply, Reply{Token: req.Token, Data: data}))

@@ -3,7 +3,7 @@ package msg
 import (
 	"testing"
 
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/sim"
 )
 
@@ -14,17 +14,18 @@ const (
 
 type harness struct {
 	eng *sim.Engine
-	net *memchan.Net
+	net interconnect.Interconnect
 	eps []*Endpoint
 }
 
 func newHarness(t *testing.T, nodes, ppn int, mode Mode) *harness {
 	t.Helper()
-	eng, err := sim.NewEngine(sim.Config{Nodes: nodes, ProcsPerNode: ppn})
+	cs := interconnect.ClusterSpec{Nodes: nodes, ProcsPerNode: ppn}
+	eng, err := sim.NewEngine(cs.EngineConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := memchan.New(eng, memchan.DefaultParams())
+	net, err := cs.Build(eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +105,10 @@ func TestCallRoundTripPoll(t *testing.T) {
 	rtt, h := callRTT(t, ModePoll)
 	// Round trip in poll mode: two ~5.2us latencies plus transfer and
 	// software costs; far below one interrupt latency.
-	if rtt <= 2*h.net.Params().Latency {
+	if rtt <= 2*h.net.MinCrossNodeLatency() {
 		t.Errorf("rtt %d implausibly low", rtt)
 	}
-	if rtt >= h.net.Params().InterruptLatency {
+	if rtt >= h.net.InterruptLatency() {
 		t.Errorf("poll-mode rtt %d should be far below interrupt latency", rtt)
 	}
 	if h.eps[0].MessagesSent() != 1 {
@@ -125,7 +126,7 @@ func TestCallInterruptLatencyDominates(t *testing.T) {
 	if !(rttPoll < rttInt && rttInt < rttUDP) {
 		t.Errorf("rtt ordering wrong: poll=%d int=%d udp=%d", rttPoll, rttInt, rttUDP)
 	}
-	if rttInt < hInt.net.Params().InterruptLatency {
+	if rttInt < hInt.net.InterruptLatency() {
 		t.Errorf("interrupt rtt %d below interrupt latency", rttInt)
 	}
 }
@@ -259,8 +260,8 @@ func TestBytesAccounting(t *testing.T) {
 	if s.BytesSent() != 64 {
 		t.Errorf("server bytes = %d", s.BytesSent())
 	}
-	if h.net.TrafficBytes(memchan.TrafficMessage) != 1064 {
-		t.Errorf("MC message traffic = %d", h.net.TrafficBytes(memchan.TrafficMessage))
+	if h.net.TrafficBytes(interconnect.TrafficMessage) != 1064 {
+		t.Errorf("MC message traffic = %d", h.net.TrafficBytes(interconnect.TrafficMessage))
 	}
 	if !s.ShutdownRequested() {
 		t.Error("shutdown flag not set")

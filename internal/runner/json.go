@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/interconnect"
 )
 
 // SchemaVersion identifies the JSON layout emitted by WriteJSON. Bump it on
@@ -15,15 +16,19 @@ import (
 const SchemaVersion = "dsmbench-results/v1"
 
 // JSONSpec is the serialized form of a RunSpec with options resolved to
-// their effective values (no pointers, no nils).
+// their effective values (no pointers, no nils). Interconnect is present
+// only for non-Memory-Channel runs, so documents produced by Memory Channel
+// configurations serialize exactly as they did before the interconnect
+// became pluggable.
 type JSONSpec struct {
-	App     string       `json:"app"`
-	Variant string       `json:"variant"`
-	Procs   int          `json:"procs"`
-	Nodes   int          `json:"nodes,omitempty"`
-	PPN     int          `json:"ppn,omitempty"`
-	Size    apps.Size    `json:"size"`
-	Options resolvedOpts `json:"options"`
+	App          string             `json:"app"`
+	Variant      string             `json:"variant"`
+	Procs        int                `json:"procs"`
+	Nodes        int                `json:"nodes,omitempty"`
+	PPN          int                `json:"ppn,omitempty"`
+	Size         apps.Size          `json:"size"`
+	Options      resolvedOpts       `json:"options"`
+	Interconnect *interconnect.Spec `json:"interconnect,omitempty"`
 }
 
 // JSONResult is one executed spec with its outcome. Exactly one of
@@ -52,13 +57,14 @@ func (rs *ResultSet) Document() JSONDocument {
 		s = s.Normalize()
 		jr := JSONResult{
 			Spec: JSONSpec{
-				App:     s.App,
-				Variant: s.Variant,
-				Procs:   s.Procs,
-				Nodes:   s.Nodes,
-				PPN:     s.PPN,
-				Size:    s.Size,
-				Options: resolve(s.Opts),
+				App:          s.App,
+				Variant:      s.Variant,
+				Procs:        s.Procs,
+				Nodes:        s.Nodes,
+				PPN:          s.PPN,
+				Size:         s.Size,
+				Options:      resolve(s.Opts),
+				Interconnect: netSpec(s.Opts),
 			},
 			Key: s.Key(),
 		}

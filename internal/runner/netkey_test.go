@@ -1,0 +1,170 @@
+package runner
+
+// Cache-key migration tests for the pluggable interconnect: a configuration
+// that existed before the interconnect became pluggable must keep its exact
+// canonical key (and therefore its disk-cache entries), while any genuinely
+// different interconnect must key — and cache — separately.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/interconnect"
+	"repro/internal/variants"
+)
+
+// legacyKey is the canonical key for SOR/csm_int/1/small exactly as the
+// pre-pluggable-interconnect runner produced it (copied verbatim from a
+// results document generated before the interconnect package existed). If
+// this test fails, every user's disk cache has been orphaned — treat the key
+// format as frozen.
+const legacyKey = "SOR|csm_int|1|0x0|small|{MC:{Latency:5200 WriteCost:250 LinkBandwidth:30000000 AggregateBandwidth:32000000 InterruptSendCost:5000 InterruptLatency:1000000 WriteBufferBytes:512} Cache:{SizeBytes:16384 LineBytes:64} NoCache:false Csm:{PagesPerSuperpage:0 DisableExclusive:false RoundRobinHomes:false DummyDoubling:false} Costs:{PageFault:78000 ProtChange:62000 MemAccess:10 CacheMiss:80 PollCheck:15 WriteDouble:30 TwinCopy:362000 DiffCreateMin:29000 DiffCreateMax:53000 DiffApplyBase:15000 CopyPerByte:4 DirectoryModLocked:16000 DirectoryMod:5000 LLSC:1000 HandlerWork:3000} Schedule:{Seed:0 CostJitter:0 FlipTies:false Stagger:0}}"
+
+func TestLegacySpecKeyUnchanged(t *testing.T) {
+	if got := smallSpec("csm_int", 1).Key(); got != legacyKey {
+		t.Errorf("legacy spec key changed:\n got  %s\n want %s", got, legacyKey)
+	}
+}
+
+// TestMemoryChannelNetSpecsKeyAsLegacy: nil, the zero Spec, and an explicit
+// Memory Channel Spec all describe the reference interconnect and must share
+// the legacy key (and each other's cache entries).
+func TestMemoryChannelNetSpecsKeyAsLegacy(t *testing.T) {
+	for _, net := range []*interconnect.Spec{
+		nil,
+		{},
+		{Kind: interconnect.MemoryChannel},
+	} {
+		s := smallSpec("csm_int", 1)
+		s.Opts.Net = net
+		if got := s.Key(); got != legacyKey {
+			t.Errorf("Net=%+v keys differently from legacy:\n got  %s\n want %s", net, got, legacyKey)
+		}
+	}
+}
+
+func TestNonMCNetSpecChangesKey(t *testing.T) {
+	base := smallSpec("csm_poll", 4)
+	rdma := base
+	rdma.Opts.Net = &interconnect.Spec{Kind: interconnect.RDMA}
+	switched := base
+	switched.Opts.Net = &interconnect.Spec{Kind: interconnect.Switched}
+	if rdma.Key() == base.Key() || switched.Key() == base.Key() {
+		t.Fatal("non-MC interconnect did not change the canonical key")
+	}
+	if rdma.Key() == switched.Key() {
+		t.Fatal("rdma and switched specs share a key")
+	}
+	if !strings.Contains(rdma.Key(), "|net=rdma:") {
+		t.Errorf("rdma key missing the net segment: %s", rdma.Key())
+	}
+	// A parameter change within a kind changes the key too.
+	p := interconnect.DefaultRDMA()
+	p.Latency *= 2
+	tuned := base
+	tuned.Opts.Net = &interconnect.Spec{Kind: interconnect.RDMA, RDMA: &p}
+	if tuned.Key() == rdma.Key() {
+		t.Fatal("rdma parameter change did not change the key")
+	}
+	// Explicit defaults and nil parameters normalize to one identity.
+	dflt := interconnect.DefaultRDMA()
+	explicit := base
+	explicit.Opts.Net = &interconnect.Spec{Kind: interconnect.RDMA, RDMA: &dflt}
+	if explicit.Key() != rdma.Key() {
+		t.Fatal("explicit-default rdma params keyed differently from nil")
+	}
+}
+
+// TestDiskCacheLegacyEntriesStillHit simulates the upgrade path: a disk
+// cache populated by a legacy configuration (no interconnect field) is hit
+// by the same configuration expressed through the new Spec plumbing, while
+// an RDMA run of the same app misses and caches separately.
+func TestDiskCacheLegacyEntriesStillHit(t *testing.T) {
+	dir := t.TempDir()
+	legacy := smallSpec(variants.Sequential, 1)
+	p := NewPlan()
+	p.Add(legacy)
+
+	ResetCache()
+	if _, err := Execute(p, Options{CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cacheFiles(t, dir)); n != 1 {
+		t.Fatalf("cache holds %d files, want 1", n)
+	}
+
+	// New process, same disk cache, Memory Channel spelled explicitly.
+	ResetCache()
+	mcSpec := legacy
+	mcSpec.Opts.Net = &interconnect.Spec{Kind: interconnect.MemoryChannel}
+	execBefore, hitsBefore := Executions(), DiskHits()
+	p2 := NewPlan()
+	p2.Add(mcSpec)
+	if _, err := Execute(p2, Options{CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Executions() - execBefore; got != 0 {
+		t.Fatalf("explicit-MC run executed %d simulations, want 0 (legacy disk hit)", got)
+	}
+	if got := DiskHits() - hitsBefore; got != 1 {
+		t.Fatalf("explicit-MC run reported %d disk hits, want 1", got)
+	}
+
+	// An RDMA run must not be served from the legacy entry.
+	ResetCache()
+	rdmaSpec := legacy
+	rdmaSpec.Opts.Net = &interconnect.Spec{Kind: interconnect.RDMA}
+	execBefore = Executions()
+	p3 := NewPlan()
+	p3.Add(rdmaSpec)
+	if _, err := Execute(p3, Options{CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Executions() - execBefore; got != 1 {
+		t.Fatalf("rdma run executed %d simulations, want 1 (must not hit the MC entry)", got)
+	}
+	if n := len(cacheFiles(t, dir)); n != 2 {
+		t.Fatalf("cache holds %d files after the rdma run, want 2", n)
+	}
+}
+
+// TestInterconnectInJSON: results JSON names the interconnect for non-MC
+// runs and omits the field entirely for Memory Channel runs (so legacy
+// documents stay byte-identical).
+func TestInterconnectInJSON(t *testing.T) {
+	ResetCache()
+	mc := smallSpec(variants.Sequential, 1)
+	rdma := RunSpec{App: "SOR", Variant: "csm_poll", Procs: 2, Size: apps.SizeSmall,
+		Opts: variants.Options{Net: &interconnect.Spec{Kind: interconnect.RDMA}}}
+	p := NewPlan()
+	p.Add(mc, rdma)
+	rs, err := Execute(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range doc.Results {
+		switch {
+		case strings.Contains(r.Key, "|net=rdma:"):
+			if r.Spec.Interconnect == nil || r.Spec.Interconnect.Kind != interconnect.RDMA {
+				t.Errorf("rdma result does not name its interconnect: %+v", r.Spec.Interconnect)
+			}
+		default:
+			if r.Spec.Interconnect != nil {
+				t.Errorf("MC result carries an interconnect field: %+v", r.Spec.Interconnect)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), `"interconnect"`) {
+		t.Error("serialized document never names the interconnect")
+	}
+}

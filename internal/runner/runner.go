@@ -23,7 +23,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cashmere"
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/sim"
 	"repro/internal/variants"
 )
@@ -74,7 +74,7 @@ func (s RunSpec) Normalize() RunSpec {
 // resolvedOpts is variants.Options with every pointer dereferenced to its
 // effective value, so that "nil" and "explicit default" key identically.
 type resolvedOpts struct {
-	MC      memchan.Params
+	MC      interconnect.MCParams
 	Cache   cache.Config
 	NoCache bool
 	Csm     cashmere.Config
@@ -87,7 +87,7 @@ type resolvedOpts struct {
 
 func resolve(o variants.Options) resolvedOpts {
 	r := resolvedOpts{
-		MC:       memchan.DefaultParams(),
+		MC:       interconnect.MCFirstGeneration(),
 		Cache:    cache.Alpha21064A,
 		NoCache:  o.NoCache,
 		Csm:      o.Cashmere,
@@ -108,9 +108,33 @@ func resolve(o variants.Options) resolvedOpts {
 
 // Key returns the spec's canonical identity. Specs with equal keys describe
 // the same deterministic simulation and share one cached result.
+//
+// Interconnect handling is asymmetric on purpose: a nil Opts.Net and any
+// spec that normalizes to the Memory Channel contribute nothing to the key,
+// so every pre-pluggable-interconnect key (and its disk-cache entry) remains
+// byte-identical; only a genuinely different interconnect appends a
+// "|net=..." segment and therefore a different cache identity.
 func (s RunSpec) Key() string {
 	s = s.Normalize()
-	return fmt.Sprintf("%s|%s|%d|%dx%d|%s|%+v", s.App, s.Variant, s.Procs, s.Nodes, s.PPN, s.Size, resolve(s.Opts))
+	key := fmt.Sprintf("%s|%s|%d|%dx%d|%s|%+v", s.App, s.Variant, s.Procs, s.Nodes, s.PPN, s.Size, resolve(s.Opts))
+	if net := netSpec(s.Opts); net != nil {
+		key += "|net=" + net.String()
+	}
+	return key
+}
+
+// netSpec returns the normalized non-Memory-Channel interconnect spec, or
+// nil when the options select the reference Memory Channel (explicitly or by
+// default).
+func netSpec(o variants.Options) *interconnect.Spec {
+	if o.Net == nil {
+		return nil
+	}
+	n := o.Net.Normalized()
+	if n.IsMemoryChannel() {
+		return nil
+	}
+	return &n
 }
 
 // Plan is an ordered, deduplicated collection of run specs.

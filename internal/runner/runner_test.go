@@ -8,7 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/sim"
 	"repro/internal/variants"
 	"repro/internal/vm"
@@ -26,7 +26,7 @@ func TestPlanDeduplicates(t *testing.T) {
 	}
 
 	// nil options and explicit defaults describe the same simulation.
-	mc := memchan.DefaultParams()
+	mc := interconnect.MCFirstGeneration()
 	withDefault := smallSpec("csm_poll", 4)
 	withDefault.Opts.MC = &mc
 	p.Add(withDefault)
@@ -44,7 +44,7 @@ func TestPlanDeduplicates(t *testing.T) {
 
 func TestKeyDistinguishesOptions(t *testing.T) {
 	base := smallSpec("csm_poll", 4)
-	mc2 := memchan.SecondGeneration()
+	mc2 := interconnect.MCSecondGeneration()
 	changed := base
 	changed.Opts.MC = &mc2
 	if base.Key() == changed.Key() {

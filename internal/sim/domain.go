@@ -553,7 +553,7 @@ func (e *Engine) drainCross() {
 // than the declared lookahead: the conservative window protocol is only
 // correct if every cross-domain effect carries at least `lookahead` of
 // virtual latency, so a violation means the model layer's declared minimum
-// (e.g. memchan's cross-node latency) does not match its behavior.
+// (e.g. the interconnect's cross-node latency) does not match its behavior.
 func (e *Engine) checkLookahead(sender *Proc, at Time) {
 	if at < sender.now+e.lookahead {
 		panic(fmt.Sprintf("sim: lookahead violation: proc %d (domain %d) at t=%d scheduled a cross-domain event at t=%d, closer than the declared lookahead %d",

@@ -245,7 +245,7 @@ func (e *Engine) SetParallel(on bool) { e.parallel = on }
 // SetLookahead declares the minimum virtual latency of every cross-domain
 // (cross-node) interaction: any Deliver or WakeAt that crosses domains must
 // target a time at least `la` past the sender's clock, or Run fails. The
-// model layer owns this number (e.g. memchan.Params.MinCrossNodeLatency);
+// model layer owns this number (e.g. interconnect.MCParams.MinCrossNodeLatency);
 // declaring it too large is unsafe, too small merely shrinks the windows.
 // Must be called before Run.
 func (e *Engine) SetLookahead(la Time) {

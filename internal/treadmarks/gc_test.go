@@ -5,14 +5,14 @@ import (
 
 	"repro/internal/apps/fuzz"
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 )
 
 func gcConfig(nodes, ppn, interval int, capture **Protocol) core.Config {
 	return core.Config{
 		Nodes: nodes, ProcsPerNode: ppn,
-		MC: memchan.DefaultParams(), Costs: core.DefaultCosts(),
+		MC: interconnect.MCFirstGeneration(), Costs: core.DefaultCosts(),
 		Msg: msg.DefaultParams(msg.ModePoll), PollingInstrumented: true,
 		NewProtocol: func(rt *core.Runtime) core.Protocol {
 			pr := New(Config{GCBarrierInterval: interval})(rt).(*Protocol)

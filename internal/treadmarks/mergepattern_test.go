@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 )
 
@@ -17,7 +17,7 @@ func TestWaterMergePattern(t *testing.T) {
 	var proto *Protocol
 	cfg := core.Config{
 		Nodes: 2, ProcsPerNode: 2,
-		MC: memchan.DefaultParams(), Costs: core.DefaultCosts(),
+		MC: interconnect.MCFirstGeneration(), Costs: core.DefaultCosts(),
 		Msg: msg.DefaultParams(msg.ModePoll), PollingInstrumented: true,
 		NewProtocol: func(rt *core.Runtime) core.Protocol {
 			pr := New(Config{})(rt).(*Protocol)

@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -984,7 +984,7 @@ func (t *Protocol) serveDiff(p *core.Proc, req msg.Request) {
 	tracef("t=%d r%d serveDiff page=%d appliedReq=%d -> %d diffs covered=%d (lastClosed=%d)", p.Sim().Now(), p.Rank(), page, dr.Applied, len(out), covered, st.lastClosedDirty[page])
 	p.ChargeProtocol(p.Costs().HandlerWork)
 	p.EP().ReplyClass(req.From, req, diffReply{Covered: covered, Diffs: out},
-		16+bytes, memchan.TrafficPage)
+		16+bytes, interconnect.TrafficPage)
 }
 
 // servePage answers a page request with our current copy (flushing our twin
@@ -1012,7 +1012,7 @@ func (t *Protocol) servePage(p *core.Proc, req msg.Request) {
 	}
 	p.ChargeProtocol(p.Costs().HandlerWork + p.Costs().Copy(vm.PageSize))
 	p.EP().ReplyClass(req.From, req, pageReply{Data: data, Applied: applied},
-		int64(vm.PageSize+4*len(applied)), memchan.TrafficPage)
+		int64(vm.PageSize+4*len(applied)), interconnect.TrafficPage)
 }
 
 // Finalize implements core.Protocol.

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 )
@@ -15,7 +15,7 @@ import (
 func TestRepeatedCriticalSections(t *testing.T) {
 	cfg := core.Config{
 		Nodes: 2, ProcsPerNode: 2,
-		MC: memchan.DefaultParams(), Costs: core.DefaultCosts(),
+		MC: interconnect.MCFirstGeneration(), Costs: core.DefaultCosts(),
 		Msg: msg.DefaultParams(msg.ModePoll), PollingInstrumented: true,
 		NewProtocol: New(Config{}), Variant: "tmk",
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cashmere"
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/treadmarks"
@@ -41,8 +41,13 @@ func DomainSafe(name string) bool {
 // Options adjust the model (defaults reproduce the paper's platform).
 type Options struct {
 	// MC overrides the Memory Channel parameters (zero value: first
-	// generation, memchan.DefaultParams).
-	MC *memchan.Params
+	// generation, interconnect.MCFirstGeneration). Only meaningful when Net
+	// selects the Memory Channel.
+	MC *interconnect.MCParams
+	// Net selects the interconnect model (nil or a Memory Channel spec: the
+	// reference Memory Channel, exactly as before the interconnect became
+	// pluggable).
+	Net *interconnect.Spec
 	// Cache overrides the L1 geometry (nil: the 21064A's 16 KB
 	// direct-mapped).
 	Cache *cache.Config
@@ -69,13 +74,19 @@ func Config(name string, nodes, procsPerNode int, opts Options) (core.Config, er
 	cfg := core.Config{
 		Nodes:        nodes,
 		ProcsPerNode: procsPerNode,
-		MC:           memchan.DefaultParams(),
+		MC:           interconnect.MCFirstGeneration(),
 		Costs:        core.DefaultCosts(),
 		Variant:      name,
 		Schedule:     opts.Schedule,
 	}
 	if opts.MC != nil {
 		cfg.MC = *opts.MC
+	}
+	if opts.Net != nil {
+		if !opts.Net.IsMemoryChannel() && opts.MC != nil {
+			return core.Config{}, fmt.Errorf("variants: MC parameter overrides make no sense with the %q interconnect", opts.Net.Kind)
+		}
+		cfg.Net = *opts.Net
 	}
 	if opts.Costs != nil {
 		cfg.Costs = *opts.Costs

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/memchan"
+	"repro/internal/interconnect"
 )
 
 func TestAllVariantsBuild(t *testing.T) {
@@ -105,7 +105,7 @@ func TestFeasibility(t *testing.T) {
 }
 
 func TestOptionsOverride(t *testing.T) {
-	mc := memchan.SecondGeneration()
+	mc := interconnect.MCSecondGeneration()
 	c := cache.Alpha21264
 	cfg, err := Config("csm_poll", 2, 2, Options{MC: &mc, Cache: &c})
 	if err != nil {

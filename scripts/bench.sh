@@ -32,22 +32,30 @@ before=${before:-0}
 
 echo "bench.sh: timing the full small sweep (-jobs 1)" >&2
 go build -o /tmp/dsmbench.benchsh ./cmd/dsmbench
+# -strict makes any failed sweep cell exit nonzero, which aborts this script
+# (set -e) before it can overwrite $out with partial numbers.
 start_ns=$(date +%s%N)
-/tmp/dsmbench.benchsh -all -size small -jobs 1 -progress=false >/dev/null
+/tmp/dsmbench.benchsh -all -size small -jobs 1 -progress=false -strict >/dev/null
 end_ns=$(date +%s%N)
 after=$(awk -v s="$start_ns" -v e="$end_ns" 'BEGIN {printf "%.1f", (e - s) / 1e9}')
+
+echo "bench.sh: timing the interconnect sweep (-netsweep, -jobs 1)" >&2
+ns_start_ns=$(date +%s%N)
+/tmp/dsmbench.benchsh -netsweep -size small -jobs 1 -progress=false -strict >/dev/null
+ns_end_ns=$(date +%s%N)
+netsweep_after=$(awk -v s="$ns_start_ns" -v e="$ns_end_ns" 'BEGIN {printf "%.1f", (e - s) / 1e9}')
 
 cpu=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
 cpu=${cpu:-unknown}
 
 {
     printf '{\n'
-    printf '  "schema": "dsmbench-hotpath-bench/v2",\n'
+    printf '  "schema": "dsmbench-hotpath-bench/v3",\n'
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
     printf '  "goos": "%s",\n' "$(go env GOOS)"
     printf '  "goarch": "%s",\n' "$(go env GOARCH)"
     printf '  "cpu": "%s",\n' "$cpu"
-    printf '  "note": "Tracked hot-path numbers; regenerate with scripts/bench.sh. BenchmarkYield ping-pongs two processors (direct handoff); BenchmarkYieldSlowPath is the same workload with fast paths disabled; BenchmarkYieldElided is a lone processor whose yields all elide. BenchmarkSharedReadRange covers 1024 elements per op, so its ns_per_element field (ns_per_op/1024) is the number comparable to element-at-a-time BenchmarkSharedAccess. BenchmarkParallelSweep runs one cross-node messaging workload on the sequential and the node-parallel engine. The sweep section times dsmbench -all -size small -jobs 1; before is the previous recording (or BEFORE_SECONDS).",\n'
+    printf '  "note": "Tracked hot-path numbers; regenerate with scripts/bench.sh. BenchmarkYield ping-pongs two processors (direct handoff); BenchmarkYieldSlowPath is the same workload with fast paths disabled; BenchmarkYieldElided is a lone processor whose yields all elide. BenchmarkSharedReadRange covers 1024 elements per op, so its ns_per_element field (ns_per_op/1024) is the number comparable to element-at-a-time BenchmarkSharedAccess. BenchmarkParallelSweep runs one cross-node messaging workload on the sequential and the node-parallel engine. The sweep section times dsmbench -all -size small -jobs 1; before is the previous recording (or BEFORE_SECONDS). The netsweep section times the interconnect x node-count sweep (dsmbench -netsweep); both sweeps run under -strict so a failed cell aborts the script instead of recording partial numbers.",\n'
     printf '  "benchmarks": [\n'
     first=1
     while IFS=$'\t' read -r pkg name ns; do
@@ -62,13 +70,19 @@ cpu=${cpu:-unknown}
     done <<<"$bench_lines"
     printf '\n  ],\n'
     printf '  "sweep": {\n'
-    printf '    "command": "dsmbench -all -size small -jobs 1",\n'
+    printf '    "command": "dsmbench -all -size small -jobs 1 -strict",\n'
     printf '    "before_seconds": %s,\n' "$before"
     printf '    "after_seconds": %s,\n' "$after"
     awk -v b="$before" -v a="$after" 'BEGIN {
         pct = (b > 0) ? (b - a) / b * 100 : 0
         printf "    \"improvement_percent\": %.1f\n", pct
     }'
+    printf '  },\n'
+    printf '  "netsweep": {\n'
+    printf '    "command": "dsmbench -netsweep -size small -jobs 1 -strict",\n'
+    printf '    "interconnects": ["memchan", "rdma", "switched"],\n'
+    printf '    "nodes": [8, 16, 32, 64],\n'
+    printf '    "seconds": %s\n' "$netsweep_after"
     printf '  }\n'
     printf '}\n'
 } >"$out"
