@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"testing"
 )
@@ -21,5 +22,40 @@ func TestDsmvetCleanOnRepo(t *testing.T) {
 	}
 	if len(out) != 0 {
 		t.Fatalf("dsmvet exited 0 but produced output:\n%s", out)
+	}
+}
+
+// TestDsmvetJSONReport checks the -json output shape CI archives: schema 1,
+// a diagnostics array, and the per-protocol domain-safety reports.
+func TestDsmvetJSONReport(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not on PATH: %v", err)
+	}
+	cmd := exec.Command(goBin, "run", "./cmd/dsmvet", "-json", "./internal/core", "./internal/cashmere")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("dsmvet -json failed (%v); output:\n%s", err, out)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("unmarshaling -json output: %v\n%s", err, out)
+	}
+	if rep.Schema != 1 {
+		t.Errorf("schema = %d, want 1", rep.Schema)
+	}
+	if rep.Diagnostics == nil {
+		t.Errorf("diagnostics field missing (want empty array, not null)")
+	}
+	types := map[string]int{}
+	for _, pr := range rep.DomainSafety {
+		types[pr.Package+"."+pr.Type] = len(pr.Escaping)
+	}
+	if n, ok := types["repro/internal/core.NullProtocol"]; !ok || n != 0 {
+		t.Errorf("NullProtocol report missing or non-empty escaping (%v)", types)
+	}
+	if n, ok := types["repro/internal/cashmere.Protocol"]; !ok || n == 0 {
+		t.Errorf("cashmere Protocol report missing or empty escaping (%v)", types)
 	}
 }

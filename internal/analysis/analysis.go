@@ -21,6 +21,18 @@
 //   - domainconfined: fields annotated "dsmvet:domain-confined" are touched
 //     only by functions annotated "dsmvet:dispatch" (the scheduling paths
 //     that provably hold the owning domain's baton).
+//   - domainescape: a flow-aware, cross-function prover classifying every
+//     protocol field access reachable from the core.Proc entry points as
+//     node-confined, message-mediated, or cluster-global escaping; a
+//     protocol declaring DomainSafe()==true with a non-empty escape
+//     inventory is a diagnostic, and dsmvet -json emits the per-protocol
+//     domain-safety report.
+//   - capsgate: every RemoteRead/WriteThrough call site must be dominated
+//     by a check of the corresponding interconnect Caps field (or carry a
+//     "dsmvet:caps-checked" marker pointing at the caller that checks).
+//   - chargepath: no raw sim.Proc.Deliver/NewMsg outside the charging
+//     layers, and no constant non-positive bytes argument to the
+//     byte-moving entry points.
 //
 // Test files (*_test.go) are exempt from every analyzer: they never run on a
 // measured path, and the loader does not even parse them.
@@ -77,7 +89,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full dsmvet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, Accessor, DomainConfined}
+	return []*Analyzer{Nondeterminism, MapOrder, Accessor, DomainConfined, DomainEscape, CapsGate, ChargePath}
 }
 
 // Run applies each analyzer to each package and returns all findings sorted

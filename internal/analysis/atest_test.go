@@ -127,3 +127,15 @@ func TestAccessorFixtures(t *testing.T) {
 func TestDomainConfinedFixtures(t *testing.T) {
 	runFixtureTest(t, DomainConfined, "confined/...")
 }
+
+func TestDomainEscapeFixtures(t *testing.T) {
+	runFixtureTest(t, DomainEscape, "descape/...")
+}
+
+func TestCapsGateFixtures(t *testing.T) {
+	runFixtureTest(t, CapsGate, "capsgate/...")
+}
+
+func TestChargePathFixtures(t *testing.T) {
+	runFixtureTest(t, ChargePath, "charge/...")
+}

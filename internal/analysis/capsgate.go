@@ -1,0 +1,402 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CapsGate checks that every call to the capability-gated interconnect
+// operations is dominated by a check of the corresponding Caps field:
+// RemoteRead panics on backends without Caps.RemoteReads (the Memory Channel
+// and the switched fabric), and WriteThrough is only meaningful on backends
+// declaring Caps.RemoteWrites — an ungated call compiles fine and then
+// crashes (or silently mismodels) the first sweep that selects the wrong
+// backend.
+//
+// A call site is considered gated when, on every path reaching it inside its
+// function, the required capability has been established by:
+//
+//   - an if-condition testing the Caps field (including `a && b`
+//     conjunctions, a bool variable one assignment away from the field, and
+//     `!caps.X` early-return guards whose taken branch terminates), or
+//   - a `dsmvet:caps-checked <Cap>` marker on the enclosing function's doc
+//     comment, for sites whose dominating check lives in a caller (e.g. a
+//     Setup-time panic guard).
+//
+// The interconnect package itself — the layer that defines and panics on the
+// capabilities — is exempt.
+var CapsGate = &Analyzer{
+	Name: "capsgate",
+	Doc: "require every RemoteRead/WriteThrough call site to be dominated " +
+		"by the corresponding interconnect Caps check",
+	Run: runCapsGate,
+}
+
+// CapsCheckedMarker, followed by a capability name, asserts on a function's
+// doc comment that the named Caps field is checked before the function can
+// be reached (typically a Setup-time panic guard).
+const CapsCheckedMarker = "dsmvet:caps-checked"
+
+// capForMethod maps gated interconnect methods to the Caps field that must
+// dominate their call sites.
+var capForMethod = map[string]string{
+	"RemoteRead":   "RemoteReads",
+	"WriteThrough": "RemoteWrites",
+}
+
+// capFields is the set of Caps field names that may establish gating facts.
+var capFields = map[string]bool{
+	"RemoteReads":     true,
+	"RemoteWrites":    true,
+	"TotalWriteOrder": true,
+}
+
+func runCapsGate(pass *Pass) error {
+	if pathLeaf(pass.Path) == "interconnect" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &capsWalker{pass: pass, boolVars: map[types.Object]string{}}
+			w.stmts(fn.Body.List, markerFacts(fn.Doc))
+		}
+	}
+	return nil
+}
+
+// markerFacts collects the capabilities asserted by CapsCheckedMarker lines
+// in a doc comment.
+func markerFacts(doc *ast.CommentGroup) map[string]bool {
+	facts := map[string]bool{}
+	if doc == nil {
+		return facts
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		for {
+			i := strings.Index(text, CapsCheckedMarker)
+			if i < 0 {
+				break
+			}
+			rest := text[i+len(CapsCheckedMarker):]
+			if f := strings.Fields(rest); len(f) > 0 && capFields[f[0]] {
+				facts[f[0]] = true
+			}
+			text = rest
+		}
+	}
+	return facts
+}
+
+// capsWalker performs the dominance walk: facts is the set of capabilities
+// known true on every path reaching the current statement.
+type capsWalker struct {
+	pass *Pass
+	// boolVars tracks bool locals one assignment away from a Caps field
+	// (`ok := net.Caps().RemoteReads`).
+	boolVars map[types.Object]string
+}
+
+// stmts walks a statement sequence, threading facts through early-return
+// guards.
+func (w *capsWalker) stmts(list []ast.Stmt, facts map[string]bool) {
+	for _, s := range list {
+		facts = w.stmt(s, facts)
+	}
+}
+
+// stmt walks one statement under facts and returns the facts holding after
+// it (facts can grow after `if !caps.X { return }` guards).
+func (w *capsWalker) stmt(s ast.Stmt, facts map[string]bool) map[string]bool {
+	switch s := s.(type) {
+	case nil:
+		return facts
+	case *ast.BlockStmt:
+		w.stmts(s.List, facts)
+		return facts
+	case *ast.IfStmt:
+		facts = w.stmt(s.Init, facts)
+		w.checkExpr(s.Cond, facts)
+		pos, whenFalse := condFacts(w.pass, w.boolVars, s.Cond)
+		w.stmt(s.Body, factsPlus(facts, pos))
+		if s.Else != nil {
+			w.stmt(s.Else, factsPlus(facts, whenFalse))
+		}
+		after := facts
+		if terminates(s.Body) {
+			after = factsPlus(after, whenFalse)
+		}
+		if s.Else != nil && stmtTerminates(s.Else) {
+			after = factsPlus(after, pos)
+		}
+		return after
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.checkExpr(r, facts)
+		}
+		// One-deep bool taint: `ok := x.Caps().RemoteReads`.
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := w.pass.Info.Defs[id]
+				if obj == nil {
+					obj = w.pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if cap := capAtom(w.pass, s.Rhs[i]); cap != "" {
+					w.boolVars[obj] = cap
+				} else {
+					delete(w.boolVars, obj)
+				}
+			}
+		}
+		return facts
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, facts)
+		return facts
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, facts)
+		}
+		return facts
+	case *ast.ForStmt:
+		facts = w.stmt(s.Init, facts)
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, facts)
+		}
+		w.stmt(s.Post, facts)
+		w.stmt(s.Body, facts)
+		return facts
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, facts)
+		w.stmt(s.Body, facts)
+		return facts
+	case *ast.SwitchStmt:
+		facts = w.stmt(s.Init, facts)
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, facts)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, x := range cc.List {
+				w.checkExpr(x, facts)
+			}
+			w.stmts(cc.Body, facts)
+		}
+		return facts
+	case *ast.TypeSwitchStmt:
+		facts = w.stmt(s.Init, facts)
+		w.stmt(s.Assign, facts)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, facts)
+		}
+		return facts
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm, facts)
+			w.stmts(cc.Body, facts)
+		}
+		return facts
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, facts)
+	case *ast.DeferStmt:
+		w.checkExpr(s.Call, facts)
+		return facts
+	case *ast.GoStmt:
+		w.checkExpr(s.Call, facts)
+		return facts
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, facts)
+		w.checkExpr(s.Value, facts)
+		return facts
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, facts)
+		return facts
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if x, ok := n.(ast.Expr); ok {
+				w.checkExpr(x, facts)
+				return false
+			}
+			return true
+		})
+		return facts
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if x, ok := n.(ast.Expr); ok {
+				w.checkExpr(x, facts)
+				return false
+			}
+			return true
+		})
+		return facts
+	}
+}
+
+// checkExpr reports ungated calls to the gated methods anywhere inside x.
+// Function literals are walked with the current facts: an inline closure
+// (SpinWait bodies) executes under the dominating check.
+func (w *capsWalker) checkExpr(x ast.Expr, facts map[string]bool) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObj(w.pass.Info, call)
+		if f == nil {
+			return true
+		}
+		cap, gated := capForMethod[f.Name()]
+		if !gated || !interconnectMethod(f) {
+			return true
+		}
+		if !facts[cap] {
+			w.pass.Reportf(call.Pos(),
+				"call to %s is not dominated by a Caps().%s check: gate it with `if ... .Caps().%s` or mark the enclosing function `%s %s` if a caller checks",
+				f.Name(), cap, cap, CapsCheckedMarker, cap)
+		}
+		return true
+	})
+}
+
+// interconnectMethod reports whether f is a method whose receiver type is
+// declared in a package with path leaf "interconnect".
+func interconnectMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := recvNamed(sig.Recv().Type())
+	if n == nil {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pathLeaf(pkg.Path()) == "interconnect"
+}
+
+// capAtom recognizes an expression that is exactly a Caps field test: a
+// selector resolving to a bool field named in capFields on the interconnect
+// Caps struct, or a bool variable bound to one.
+func capAtom(pass *Pass, x ast.Expr) string {
+	return capAtomVars(pass, nil, x)
+}
+
+func capAtomVars(pass *Pass, boolVars map[types.Object]string, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		sel := pass.Info.Selections[x]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		fld, ok := sel.Obj().(*types.Var)
+		if !ok || !capFields[fld.Name()] {
+			return ""
+		}
+		if fld.Pkg() == nil || pathLeaf(fld.Pkg().Path()) != "interconnect" {
+			return ""
+		}
+		return fld.Name()
+	case *ast.Ident:
+		if boolVars == nil {
+			return ""
+		}
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		return boolVars[obj]
+	}
+	return ""
+}
+
+// condFacts decomposes an if-condition into the capabilities established in
+// the then-branch (pos) and in the else-branch / after a terminating
+// then-branch (whenFalse).
+func condFacts(pass *Pass, boolVars map[types.Object]string, cond ast.Expr) (pos, whenFalse map[string]bool) {
+	pos = map[string]bool{}
+	whenFalse = map[string]bool{}
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "&&":
+			// cond true ⇒ both true.
+			p1, _ := condFacts(pass, boolVars, c.X)
+			p2, _ := condFacts(pass, boolVars, c.Y)
+			pos = factsPlus(p1, p2)
+		case "||":
+			// cond false ⇒ both false.
+			_, f1 := condFacts(pass, boolVars, c.X)
+			_, f2 := condFacts(pass, boolVars, c.Y)
+			whenFalse = factsPlus(f1, f2)
+		}
+	case *ast.UnaryExpr:
+		if c.Op.String() == "!" {
+			p, f := condFacts(pass, boolVars, c.X)
+			return f, p
+		}
+	default:
+		if cap := capAtomVars(pass, boolVars, cond); cap != "" {
+			pos[cap] = true
+		}
+	}
+	return pos, whenFalse
+}
+
+// factsPlus unions fact sets without mutating either operand.
+func factsPlus(a, b map[string]bool) map[string]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := map[string]bool{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// terminates reports whether a block always transfers control out of the
+// sequence (return, panic, or an unlabeled branch statement).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && stmtTerminates(s.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenProtocols maps the protocol packages whose escape inventories the
+// repository pins to their golden report files. The reports are the refactor
+// worklist for the top ROADMAP item (make Cashmere/TreadMarks domain-safe);
+// regenerate with:
+//
+//	DSMVET_UPDATE_REPORTS=1 go test ./internal/analysis -run TestDomainEscapeGolden
+var goldenProtocols = []struct {
+	pattern string
+	golden  string
+}{
+	{"repro/internal/core", "core.golden.json"},
+	{"repro/internal/cashmere", "cashmere.golden.json"},
+	{"repro/internal/treadmarks", "treadmarks.golden.json"},
+}
+
+// TestDomainEscapeGolden pins the per-protocol domain-safety reports for the
+// real repository: cashmere/treadmarks must have a non-empty escape
+// inventory (they declare DomainSafe()==false for exactly these reasons),
+// and the baseline NullProtocol must be fully node-confined.
+func TestDomainEscapeGolden(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatalf("locating module: %v", err)
+	}
+	for _, g := range goldenProtocols {
+		g := g
+		t.Run(filepath.Base(g.pattern), func(t *testing.T) {
+			pkgs, err := l.Load(g.pattern)
+			if err != nil {
+				t.Fatalf("loading %s: %v", g.pattern, err)
+			}
+			reports, err := DomainEscapeReports(pkgs)
+			if err != nil {
+				t.Fatalf("building reports: %v", err)
+			}
+			if len(reports) == 0 {
+				t.Fatalf("no protocol (DomainSafe() bool method) found in %s", g.pattern)
+			}
+			// Positions churn with unrelated edits; the golden pins the
+			// structural inventory only.
+			for i := range reports {
+				stripPositions(&reports[i])
+			}
+			got, err := json.MarshalIndent(reports, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "reports", g.golden)
+			if os.Getenv("DSMVET_UPDATE_REPORTS") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with DSMVET_UPDATE_REPORTS=1): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("domain-safety report for %s changed.\n--- got ---\n%s\n--- want (%s) ---\n%s\nIf the change is intended, regenerate with DSMVET_UPDATE_REPORTS=1.",
+					g.pattern, got, path, want)
+			}
+
+			checkInventoryInvariants(t, g.pattern, reports)
+		})
+	}
+}
+
+func stripPositions(r *ProtocolReport) {
+	for i := range r.Escaping {
+		r.Escaping[i].Pos = ""
+	}
+	for i := range r.MessageMediated {
+		r.MessageMediated[i].Pos = ""
+	}
+}
+
+// checkInventoryInvariants asserts the acceptance criteria directly, so a
+// blanket golden regeneration cannot silently accept a broken analyzer.
+func checkInventoryInvariants(t *testing.T, pattern string, reports []ProtocolReport) {
+	t.Helper()
+	escRoots := map[string]bool{}
+	for _, r := range reports {
+		for _, fu := range r.Escaping {
+			escRoots[fu.Root] = true
+		}
+		if r.DeclaredSafe == nil {
+			t.Errorf("%s: protocol %s has a non-literal DomainSafe body", pattern, r.Type)
+		}
+	}
+	switch pattern {
+	case "repro/internal/core":
+		for _, r := range reports {
+			if len(r.Escaping) != 0 || len(r.MessageMediated) != 0 {
+				t.Errorf("baseline protocol %s must be fully node-confined, got %d escaping / %d mediated",
+					r.Type, len(r.Escaping), len(r.MessageMediated))
+			}
+			if r.DeclaredSafe != nil && !*r.DeclaredSafe {
+				t.Errorf("baseline protocol %s declares DomainSafe()==false", r.Type)
+			}
+		}
+	case "repro/internal/cashmere":
+		if len(escRoots) == 0 {
+			t.Errorf("cashmere escape inventory is empty; its DomainSafe comment documents shared directory/lock/barrier state")
+		}
+		// The prose blockers in Protocol.DomainSafe's comment, machine-checked.
+		for _, root := range []string{"dir", "locks", "barrier", "wn"} {
+			if !escRoots[root] {
+				t.Errorf("cashmere escape inventory lost root %q documented in the DomainSafe comment", root)
+			}
+		}
+	case "repro/internal/treadmarks":
+		if len(escRoots) == 0 {
+			t.Errorf("treadmarks escape inventory is empty; its DomainSafe comment documents shared lock-manager/barrier state")
+		}
+		for _, root := range []string{"bars"} {
+			if !escRoots[root] {
+				t.Errorf("treadmarks escape inventory lost root %q documented in the DomainSafe comment", root)
+			}
+		}
+	}
+	for _, r := range reports {
+		if r.DeclaredSafe != nil && *r.DeclaredSafe && len(r.Escaping) > 0 {
+			t.Errorf("%s: protocol %s declares DomainSafe()==true with a non-empty escape inventory (the analyzer should have reported this)",
+				pattern, r.Type)
+		}
+	}
+}

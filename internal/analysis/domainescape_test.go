@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestDomainEscapeClassification checks the three-way classification on the
+// descape fixture protocol: per-rank slots confine, handler-only mutations
+// mediate, direct cross-slot mutations escape.
+func TestDomainEscapeClassification(t *testing.T) {
+	l := NewSrcLoader(filepath.Join("testdata", "src"))
+	pkgs, err := l.Load("descape/proto", "descape/clean")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	reports, err := DomainEscapeReports(pkgs)
+	if err != nil {
+		t.Fatalf("building reports: %v", err)
+	}
+	byPkg := map[string]ProtocolReport{}
+	for _, r := range reports {
+		byPkg[r.Package] = r
+	}
+
+	proto, ok := byPkg["descape/proto"]
+	if !ok {
+		t.Fatalf("no report for descape/proto; got %v", byPkg)
+	}
+	if got := fieldUseRoots(proto.Escaping); !equalStrings(got, []string{"dir", "hits"}) {
+		t.Errorf("proto escaping roots = %v, want [dir hits]", got)
+	}
+	if got := fieldUseRoots(proto.MessageMediated); !equalStrings(got, []string{"mailbox"}) {
+		t.Errorf("proto message-mediated roots = %v, want [mailbox]", got)
+	}
+	for _, want := range []string{"cfg", "eps", "perRank"} {
+		if !containsString(proto.NodeConfined, want) {
+			t.Errorf("proto node-confined %v missing %q", proto.NodeConfined, want)
+		}
+	}
+	if proto.DeclaredSafe == nil || !*proto.DeclaredSafe {
+		t.Errorf("proto DeclaredSafe = %v, want true", proto.DeclaredSafe)
+	}
+	// The cross-function path must reach the mutation through the helper.
+	foundPath := false
+	for _, fu := range proto.Escaping {
+		if fu.Root == "dir" && len(fu.Path) == 2 && fu.Path[0] == "OnReadFault" && fu.Path[1] == "bump" {
+			foundPath = true
+		}
+	}
+	if !foundPath {
+		t.Errorf("proto dir escape lost its OnReadFault → bump call path: %+v", proto.Escaping)
+	}
+
+	clean, ok := byPkg["descape/clean"]
+	if !ok {
+		t.Fatalf("no report for descape/clean")
+	}
+	if len(clean.Escaping) != 0 || len(clean.MessageMediated) != 0 {
+		t.Errorf("clean protocol should be fully confined, got escaping=%v mediated=%v",
+			clean.Escaping, clean.MessageMediated)
+	}
+	for _, want := range []string{"cfg", "perNode", "perRank"} {
+		if !containsString(clean.NodeConfined, want) {
+			t.Errorf("clean node-confined %v missing %q", clean.NodeConfined, want)
+		}
+	}
+}
+
+func fieldUseRoots(fus []FieldUse) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, fu := range fus {
+		if !seen[fu.Root] {
+			seen[fu.Root] = true
+			out = append(out, fu.Root)
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Package interconnect is a stand-in for the real internal/interconnect
+// (path leaf "interconnect"): capsgate matches the Caps fields and the gated
+// methods by receiver package leaf, and exempts this package itself.
+package interconnect
+
+type Caps struct {
+	RemoteReads     bool
+	RemoteWrites    bool
+	TotalWriteOrder bool
+}
+
+type Net struct{ caps Caps }
+
+func (n *Net) Caps() Caps { return n.caps }
+
+func (n *Net) RemoteRead(src int, bytes int64) int64 { return bytes }
+
+func (n *Net) WriteThrough(home int, bytes int64) {}
+
+// internalUse shows the defining package is exempt: the backends themselves
+// implement the panic-on-missing-cap behavior.
+func internalUse(n *Net) {
+	n.RemoteRead(0, 8)
+	n.WriteThrough(0, 8)
+}

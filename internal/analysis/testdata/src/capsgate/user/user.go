@@ -1,0 +1,90 @@
+// Package user exercises the capsgate dominance analysis: gated calls in
+// every sanctioned shape, and the negative cases that must be flagged.
+package user
+
+import ic "capsgate/interconnect"
+
+func gatedDirect(n *ic.Net) {
+	if n.Caps().RemoteReads {
+		n.RemoteRead(1, 64)
+	}
+}
+
+func ungated(n *ic.Net) {
+	n.RemoteRead(1, 64) // want `call to RemoteRead is not dominated by a Caps\(\).RemoteReads check`
+}
+
+func wrongBranch(n *ic.Net) {
+	if n.Caps().RemoteReads {
+		_ = n.Caps()
+	} else {
+		n.RemoteRead(1, 64) // want `call to RemoteRead is not dominated by a Caps\(\).RemoteReads check`
+	}
+}
+
+func wrongCap(n *ic.Net) {
+	if n.Caps().TotalWriteOrder {
+		n.RemoteRead(1, 64) // want `call to RemoteRead is not dominated by a Caps\(\).RemoteReads check`
+	}
+}
+
+func boolVar(n *ic.Net) {
+	ok := n.Caps().RemoteReads
+	if ok {
+		n.RemoteRead(1, 64)
+	}
+}
+
+func earlyReturn(n *ic.Net) {
+	if !n.Caps().RemoteReads {
+		return
+	}
+	n.RemoteRead(1, 64)
+}
+
+func earlyPanic(n *ic.Net) {
+	if !n.Caps().RemoteWrites {
+		panic("no remote writes")
+	}
+	n.WriteThrough(2, 64)
+}
+
+func conjunction(n *ic.Net, fast bool) {
+	if fast && n.Caps().RemoteReads {
+		n.RemoteRead(1, 64)
+	}
+}
+
+// disjunctionIsNotEnough: cond true does not imply the capability.
+func disjunctionIsNotEnough(n *ic.Net, fast bool) {
+	if fast || n.Caps().RemoteReads {
+		n.RemoteRead(1, 64) // want `call to RemoteRead is not dominated by a Caps\(\).RemoteReads check`
+	}
+}
+
+func ungatedWriteThrough(n *ic.Net) {
+	n.WriteThrough(2, 64) // want `call to WriteThrough is not dominated by a Caps\(\).RemoteWrites check`
+}
+
+// markerGated is reached only from callers that check the capability
+// (e.g. a Setup-time panic guard).
+//
+// dsmvet:caps-checked RemoteWrites
+func markerGated(n *ic.Net) {
+	n.WriteThrough(2, 64)
+}
+
+// markerWrongCap asserts a different capability than the call needs.
+//
+// dsmvet:caps-checked RemoteReads
+func markerWrongCap(n *ic.Net) {
+	n.WriteThrough(2, 64) // want `call to WriteThrough is not dominated by a Caps\(\).RemoteWrites check`
+}
+
+// gatedClosure: an inline closure executes under the dominating check.
+func gatedClosure(n *ic.Net) {
+	if n.Caps().RemoteReads {
+		f := func() { n.RemoteRead(1, 64) }
+		f()
+	}
+}

@@ -1,0 +1,24 @@
+// Package core is a measured package (path leaf "core"): raw deliveries
+// bypass the charging layers here, and constant non-positive byte sizes
+// charge no occupancy.
+package core
+
+import (
+	ic "charge/interconnect"
+	"charge/msg"
+	"charge/sim"
+)
+
+func rawDelivery(p, q *sim.Proc) {
+	m := p.NewMsg(3, nil) // want `raw sim\.Proc\.NewMsg bypasses the charging path`
+	q.Deliver(m)          // want `raw sim\.Proc\.Deliver bypasses the charging path`
+}
+
+func freeBytes(n ic.Interconnect, ep, target *msg.Endpoint, size int64) {
+	n.Transfer(1, 0) // want `constant 0 bytes argument to Interconnect.Transfer`
+	n.Transfer(1, 4096)
+	n.RemoteRead(2, -8) // want `constant -8 bytes argument to Interconnect.RemoteRead`
+	n.RemoteRead(2, size)
+	ep.Call(target, 7, nil, 0) // want `constant 0 bytes argument to Endpoint.Call`
+	ep.Call(target, 7, nil, 64)
+}

@@ -1,0 +1,9 @@
+// Package interconnect is a stand-in for the real internal/interconnect:
+// chargepath checks the bytes argument of Interconnect.Transfer/RemoteRead
+// at call sites in measured packages.
+package interconnect
+
+type Interconnect interface {
+	Transfer(dst int, bytes int64) int64
+	RemoteRead(src int, bytes int64) int64
+}

@@ -1,0 +1,20 @@
+// Package sim is a stand-in for the real internal/sim (path leaf "sim"):
+// Proc.Deliver/NewMsg are the raw delivery primitives the charging layers
+// wrap; the sim package itself is exempt from the raw-delivery rule.
+package sim
+
+type Msg struct {
+	Kind int
+	Data any
+}
+
+type Proc struct{ inbox []Msg }
+
+func (p *Proc) NewMsg(kind int, data any) Msg { return Msg{Kind: kind, Data: data} }
+
+func (p *Proc) Deliver(m Msg) { p.inbox = append(p.inbox, m) }
+
+// internalUse: the scheduler layer delivers raw messages legitimately.
+func internalUse(p *Proc) {
+	p.Deliver(p.NewMsg(0, nil))
+}

@@ -1,0 +1,26 @@
+// Package clean is a protocol whose host state is provably node-confined:
+// declaring DomainSafe()==true produces no diagnostic.
+package clean
+
+import "descape/core"
+
+type Proto struct {
+	// perRank is written only at the accessing processor's own rank.
+	perRank []int64
+	// perNode is written only at the accessing processor's own node, through
+	// a local bound to p.Node().
+	perNode [][]bool
+	// cfg is read-only after Setup.
+	cfg int
+}
+
+func (t *Proto) Setup(nprocs int) { t.perRank = make([]int64, nprocs) }
+
+func (t *Proto) OnWriteFault(p *core.Proc, page int) {
+	t.perRank[p.Rank()] += int64(t.cfg)
+	node := p.Node()
+	// Self at the OUTER level of a nested index: still confined.
+	t.perNode[node][page] = true
+}
+
+func (t *Proto) DomainSafe() bool { return true }

@@ -1,0 +1,11 @@
+// Package core is a stand-in for the real internal/core (path leaf
+// "core"): the domainescape analyzer recognizes *core.Proc entry parameters
+// and the Rank/Node self-index methods by receiver type and package leaf.
+package core
+
+type Proc struct {
+	rank, node int
+}
+
+func (p *Proc) Rank() int { return p.rank }
+func (p *Proc) Node() int { return p.node }

@@ -1,0 +1,12 @@
+// Package msg is a stand-in for the real internal/msg (path leaf "msg"):
+// Endpoint method calls are the sanctioned message-mediated channel, so a
+// rooted value passed to them is a message payload, not a mutation.
+package msg
+
+type Endpoint struct{ id int }
+
+func (ep *Endpoint) Send(target *Endpoint, kind int, data any, bytes int64) {}
+
+func (ep *Endpoint) Call(target *Endpoint, kind int, data any, bytes int64) any { return nil }
+
+func (ep *Endpoint) Reply(to int, data any, bytes int64) {}

@@ -1,0 +1,53 @@
+// Package proto exercises the domainescape classification: per-rank slots
+// are node-confined, handler-only mutations are message-mediated, direct
+// cross-slot mutations escape — and a DomainSafe()==true declaration over a
+// non-empty escape inventory is the diagnostic.
+package proto
+
+import (
+	"descape/core"
+	"descape/msg"
+)
+
+type Proto struct {
+	// dir is indexed by page and mutated from the faulting processor's
+	// goroutine: a cluster-global escape.
+	dir []int64
+	// hits is a shared counter incremented in direct context: escapes.
+	hits int64
+	// perRank is only ever written at the accessing processor's own rank:
+	// node-confined.
+	perRank [][]int32
+	// mailbox is mutated only while servicing addressed requests:
+	// message-mediated.
+	mailbox []int64
+	// cfg is immutable after Setup: node-confined.
+	cfg int
+	// eps members are only passed to Endpoint calls: node-confined.
+	eps []*msg.Endpoint
+}
+
+// Setup runs before the processors start; its mutations never count.
+func (t *Proto) Setup(pages int) {
+	t.dir = make([]int64, pages)
+	t.mailbox = make([]int64, pages)
+}
+
+func (t *Proto) OnReadFault(p *core.Proc, page int) {
+	t.hits++
+	t.bump(page)
+	r := p.Rank()
+	t.perRank[r] = append(t.perRank[r], int32(page))
+	if t.cfg > 0 {
+		t.eps[0].Send(t.eps[1], 1, nil, 64)
+	}
+}
+
+// bump mutates the directory through a cross-function call path; the
+// analyzer attributes the write to its direct-context callers.
+func (t *Proto) bump(page int) { t.dir[page]++ }
+
+// Service mutates the mailbox only in handler context.
+func (t *Proto) Service(p *core.Proc, page int) { t.mailbox[page]++ }
+
+func (t *Proto) DomainSafe() bool { return true } // want `Proto declares DomainSafe\(\)==true but 2 field access\(es\) escape .*roots: dir, hits`

@@ -92,6 +92,11 @@ func (c *Protocol) WantsWriteHook() bool { return true }
 
 // Setup implements core.Protocol.
 func (c *Protocol) Setup(rt *core.Runtime) {
+	if !rt.Net().Caps().RemoteWrites {
+		// Write doubling is the protocol's foundation (§3.3.1): without
+		// one-sided remote writes every OnSharedWrite would mismodel traffic.
+		panic("cashmere: backend does not provide remote writes (Caps().RemoteWrites)")
+	}
 	numPages := rt.NumPages()
 	c.nprocs = len(rt.ComputeProcs())
 	if c.nprocs > 64 {
@@ -278,6 +283,9 @@ func (c *Protocol) OnWriteFault(p *core.Proc, page int) {
 // instruction overhead, the doubled address's cache pressure, the
 // write-through pipe occupancy, and the functional update of the home copy
 // all happen here.
+//
+// dsmvet:caps-checked RemoteWrites — Setup panics unless the backend
+// declares Caps().RemoteWrites, so every WriteThrough below runs gated.
 func (c *Protocol) OnSharedWrite(p *core.Proc, addr core.Addr, size int) {
 	p.Charge(core.CatDoubling, p.Costs().WriteDouble)
 	if c.cfg.DummyDoubling {
@@ -432,6 +440,14 @@ func (c *Protocol) Finalize(p *core.Proc) {}
 // itself a single cluster-wide structure. None of that is confined to the accessing node's
 // scheduling domain, so the node-parallel engine must not run this protocol;
 // core.Run falls back to the sequential engine.
+//
+// The exact escape inventory is machine-checked: the domainescape analyzer
+// classifies every field access reachable from the entry points, and the
+// golden report internal/analysis/testdata/reports/cashmere.golden.json
+// pins the field → call-path pairs (dir entries, superHome, lock/barrier
+// words, write-notice lists, shared counters, the interconnect handle) that
+// force this declaration. Flipping it to true without emptying that list is
+// itself a dsmvet diagnostic.
 func (c *Protocol) DomainSafe() bool { return false }
 
 // MaxCostJitter implements core.SchedulePerturbable: any cost inflation up

@@ -42,6 +42,11 @@ func TestConformanceDeclaredCaps(t *testing.T) {
 		if !net.Caps().TotalWriteOrder {
 			t.Error("backend does not declare total write order")
 		}
+		// Every current backend models one-sided remote writes; Cashmere's
+		// Setup guard (and the capsgate linter) depend on the declaration.
+		if !net.Caps().RemoteWrites {
+			t.Error("backend does not declare remote writes (Caps().RemoteWrites)")
+		}
 		if net.MinCrossNodeLatency() <= 0 {
 			t.Errorf("MinCrossNodeLatency = %d, want > 0", net.MinCrossNodeLatency())
 		}

@@ -102,6 +102,13 @@ type Caps struct {
 	// RemoteRead panics: the Memory Channel hardware has no remote reads
 	// (paper §3.1), and the protocols emulate them with messages.
 	RemoteReads bool
+	// RemoteWrites reports whether WriteThrough is usable: the backend can
+	// apply one-sided writes into a remote node's memory. The Memory Channel
+	// is remote-writes-only (paper §3.1), and every current backend models
+	// the capability; protocols that double shared stores (Cashmere) must
+	// still check it so a future receive-only backend fails fast at Setup
+	// instead of mismodeling traffic.
+	RemoteWrites bool
 	// TotalWriteOrder reports that two writes to the same region are
 	// observed in the same order on every node. The lock and directory
 	// algorithms require it; every current backend provides it.

@@ -142,7 +142,9 @@ func (n *mcNet) Kind() Kind { return MemoryChannel }
 
 // Caps implements Interconnect: no remote reads (paper §3.1), total write
 // ordering.
-func (n *mcNet) Caps() Caps { return Caps{RemoteReads: false, TotalWriteOrder: true} }
+func (n *mcNet) Caps() Caps {
+	return Caps{RemoteReads: false, RemoteWrites: true, TotalWriteOrder: true}
+}
 
 // Params returns the network parameters.
 func (n *mcNet) Params() MCParams { return n.params }

@@ -126,7 +126,9 @@ func (n *rdmaNet) Kind() Kind { return RDMA }
 // Caps implements Interconnect: one-sided remote reads are the point of
 // this model; ordering within a queue pair plus the simulator's serialized
 // write execution give total write ordering.
-func (n *rdmaNet) Caps() Caps { return Caps{RemoteReads: true, TotalWriteOrder: true} }
+func (n *rdmaNet) Caps() Caps {
+	return Caps{RemoteReads: true, RemoteWrites: true, TotalWriteOrder: true}
+}
 
 // Params returns the network parameters.
 func (n *rdmaNet) Params() RDMAParams { return n.params }

@@ -134,7 +134,9 @@ func (n *switchNet) Kind() Kind { return Switched }
 
 // Caps implements Interconnect: remote writes only, total ordering (via the
 // diameter visibility horizon, see the package comment above).
-func (n *switchNet) Caps() Caps { return Caps{RemoteReads: false, TotalWriteOrder: true} }
+func (n *switchNet) Caps() Caps {
+	return Caps{RemoteReads: false, RemoteWrites: true, TotalWriteOrder: true}
+}
 
 // Params returns the network parameters.
 func (n *switchNet) Params() SwitchedParams { return n.params }

@@ -1026,6 +1026,14 @@ func (t *Protocol) Finalize(p *core.Proc) {}
 // goroutines, and garbage collection walks every processor's interval lists
 // in place. The node-parallel engine therefore cannot run this protocol;
 // core.Run falls back to the sequential engine.
+//
+// The exact escape inventory is machine-checked: the domainescape analyzer
+// classifies every field access reachable from the entry points, and the
+// golden report internal/analysis/testdata/reports/treadmarks.golden.json
+// pins the field → call-path pairs (barrier state and the shared protocol
+// counters mutated from requesters' goroutines; the diff-serving counters
+// are message-mediated) that force this declaration. Flipping it to true
+// without emptying that list is itself a dsmvet diagnostic.
 func (t *Protocol) DomainSafe() bool { return false }
 
 // MaxCostJitter implements core.SchedulePerturbable: any cost inflation up

@@ -5,8 +5,13 @@
 #   1. go vet          — the stock toolchain checks;
 #   2. dsmvet          — the repo's determinism/invariant analyzers
 #                        (cmd/dsmvet; see DESIGN.md "Machine-checked
-#                        invariants");
-#   3. gofmt           — formatting, including testdata fixtures.
+#                        invariants"); -json writes dsmvet_report.json with
+#                        the per-protocol domain-safety reports, which CI
+#                        uploads as an artifact so the escape inventory is
+#                        diffable per PR;
+#   3. gofmt           — formatting for tracked Go files, including testdata
+#                        fixtures (git ls-files, so untracked scratch
+#                        directories like .seedtree/ never fail lint).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,10 +19,10 @@ echo "== go vet =="
 go vet ./...
 
 echo "== dsmvet =="
-go run ./cmd/dsmvet ./...
+go run ./cmd/dsmvet -json ./... > dsmvet_report.json
 
 echo "== gofmt =="
-unformatted=$(gofmt -l .)
+unformatted=$(git ls-files -- '*.go' | xargs -r gofmt -l)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
